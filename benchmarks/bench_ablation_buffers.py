@@ -1,0 +1,38 @@
+"""Ablation: input-buffer depth vs saturation throughput.
+
+The paper's buffer capacity was lost to OCR (DESIGN.md Section 2); this
+bench sweeps it, showing the saturation point's sensitivity — deeper
+buffers absorb convergence bursts and delay tree saturation, with
+diminishing returns.
+"""
+
+from repro.flit.config import FlitConfig
+from repro.flit.sweep import load_sweep
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.util.tables import format_table
+
+
+def test_buffer_depth_ablation(benchmark):
+    xgft = m_port_n_tree(8, 3)
+    scheme = make_scheme(xgft, "disjoint:4")
+
+    def run():
+        rows = []
+        for depth in (1, 2, 4, 8):
+            cfg = FlitConfig(buffer_packets=depth, warmup_cycles=500,
+                             measure_cycles=2500, drain_cycles=3000)
+            sweep = load_sweep(xgft, scheme, cfg, loads=(0.6, 0.8, 1.0))
+            rows.append([depth, sweep.max_throughput])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["buffer (packets)", "max throughput"], rows,
+                         title="Ablation: buffer depth, disjoint(4)",
+                         floatfmt=".4f")
+    benchmark.extra_info["rendered"] = table
+    print("\n" + table)
+
+    thr = dict(rows)
+    assert thr[4] > thr[1]          # deeper buffers help
+    assert thr[8] >= thr[4] * 0.93  # with diminishing returns

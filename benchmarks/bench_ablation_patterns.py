@@ -1,0 +1,61 @@
+"""Ablation: heuristic ordering under structured traffic patterns.
+
+Figure 4 uses random permutations; this bench re-runs the flow-level
+comparison under the structured patterns from the fat-tree literature
+(shift, bit-reversal, bit-complement, transpose, hotspot, adversarial)
+to check the disjoint heuristic's lead is not a permutation artifact.
+"""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.flow.simulator import FlowSimulator
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.adversarial import theorem2_pattern
+from repro.traffic.synthetic import (
+    bit_complement,
+    bit_reversal,
+    hotspot,
+    shift_pattern,
+    transpose_pattern,
+)
+from repro.util.tables import format_table
+
+SCHEMES = ("d-mod-k", "shift-1:4", "random:4", "disjoint:4", "umulti")
+
+
+def _patterns(n):
+    yield "shift(1)", shift_pattern(n, 1)
+    yield f"shift(n/2)", shift_pattern(n, n // 2)
+    yield "bit-reversal", bit_reversal(n)
+    yield "bit-complement", bit_complement(n)
+    yield "hotspot", hotspot(n, [0, 1], hot_fraction=0.3)
+    if int(n**0.5) ** 2 == n:
+        yield "transpose", transpose_pattern(n)
+
+
+def test_pattern_ablation(benchmark):
+    xgft = m_port_n_tree(16, 2)  # 128 nodes, power of two
+    sim = FlowSimulator(xgft)
+
+    def run():
+        rows = []
+        for name, tm in _patterns(xgft.n_procs):
+            row = [name]
+            for spec in SCHEMES:
+                row.append(sim.evaluate(make_scheme(xgft, spec), tm).ratio)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["pattern", *SCHEMES], rows,
+                         title="Ablation: performance ratio by pattern "
+                               "(flow level, 16-port 2-tree)")
+    benchmark.extra_info["rendered"] = table
+    print("\n" + table)
+
+    for row in rows:
+        ratios = dict(zip(SCHEMES, row[1:]))
+        assert ratios["umulti"] == pytest.approx(1.0)   # Theorem 1
+        assert ratios["disjoint:4"] <= ratios["d-mod-k"] + 1e-9

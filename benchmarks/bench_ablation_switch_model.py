@@ -1,0 +1,51 @@
+"""Ablation: switch microarchitecture (the DESIGN.md calibration).
+
+Runs the Table 1 core comparison under both switch models.  With
+output-queued switches (the default, matching the paper's observed
+ordering) multi-path routing wins; with single-FIFO input-buffered
+switches the ordering *reverses*, because digit d-mod-k's
+destination-private down-paths confine head-of-line blocking while
+spreading contaminates more buffers.  This bench documents that finding
+as a regeneratable artifact.
+"""
+
+import numpy as np
+
+from repro.flit.config import FlitConfig
+from repro.flit.sweep import load_sweep
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.util.tables import format_table
+
+
+def _max_thr(xgft, spec, model):
+    cfg = FlitConfig(warmup_cycles=500, measure_cycles=2500,
+                     drain_cycles=3000, switch_model=model)
+    sweep = load_sweep(xgft, make_scheme(xgft, spec), cfg,
+                       loads=(0.6, 0.8, 1.0))
+    return sweep.max_throughput
+
+
+def test_switch_model_ablation(benchmark):
+    xgft = m_port_n_tree(8, 3)
+
+    def run():
+        rows = []
+        for model in ("output-queued", "input-fifo"):
+            rows.append([model, _max_thr(xgft, "d-mod-k", model),
+                         _max_thr(xgft, "disjoint:8", model)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["switch model", "d-mod-k", "disjoint(8)"], rows,
+                         title="Ablation: max throughput by switch model",
+                         floatfmt=".4f")
+    benchmark.extra_info["rendered"] = table
+    print("\n" + table)
+
+    oq = {r[0]: r for r in rows}["output-queued"]
+    fifo = {r[0]: r for r in rows}["input-fifo"]
+    # Output-queued: multi-path >= single-path (paper's regime).
+    assert oq[2] >= oq[1] * 0.97
+    # Input-FIFO: concentration wins (the reversal DESIGN.md documents).
+    assert fifo[1] > fifo[2]

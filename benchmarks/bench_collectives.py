@@ -1,0 +1,43 @@
+"""Benchmark: shift all-to-all completion cost per routing scheme.
+
+The paper's reference [17] (Zahavi et al.) optimizes fat-tree routing
+for shift all-to-all schedules; with synchronized phases the collective
+finishes in time proportional to the sum over phases of the maximum
+link load.  This bench scores that cost for each scheme on the 16-port
+2-tree — a structured-workload complement to Figure 4's random
+permutations.
+"""
+
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.collectives import shift_all_to_all, schedule_cost
+from repro.util.tables import format_table
+
+SCHEMES = ("d-mod-k", "shift-1:4", "random:4", "disjoint:4", "umulti")
+
+
+def test_shift_all_to_all_cost(benchmark):
+    xgft = m_port_n_tree(16, 2)  # 128 nodes
+    n = xgft.n_procs
+
+    def run():
+        rows = []
+        for spec in SCHEMES:
+            scheme = make_scheme(xgft, spec)
+            total, worst = schedule_cost(xgft, scheme, shift_all_to_all(n))
+            rows.append([spec, total, worst, total / (n - 1)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["scheme", "total cost", "worst phase", "slowdown vs optimal"],
+        rows,
+        title=f"Shift all-to-all completion cost, {xgft} (optimal = {n - 1})",
+    )
+    benchmark.extra_info["rendered"] = table
+    print("\n" + table)
+
+    cost = {r[0]: r[1] for r in rows}
+    assert cost["umulti"] == n - 1            # every phase optimal
+    assert cost["disjoint:4"] <= cost["d-mod-k"]
+    assert cost["disjoint:4"] <= cost["random:4"] + 1e-9

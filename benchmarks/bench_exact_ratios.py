@@ -1,0 +1,28 @@
+"""Benchmark: exact oblivious ratios per scheme and K (LP, small trees).
+
+An exact version of the oblivious-ratio landscape: on an 8-port 2-tree
+the LP maximizes the performance ratio over *all* traffic matrices.
+d-mod-k's exact ratio equals ``w_2 = 4``; the heuristics shrink it with
+K and hit exactly 1 at K = 4; UMULTI is exactly 1 (Theorem 1 over the
+whole traffic space, not a sample).
+"""
+
+import pytest
+
+from repro.experiments import exact_ratios
+
+from benchmarks.conftest import record
+
+
+def test_exact_oblivious_ratios(benchmark):
+    result = benchmark.pedantic(exact_ratios.run, rounds=1, iterations=1)
+    record(benchmark, result)
+
+    by = result.by_label()
+    assert by["umulti"] == pytest.approx(1.0, abs=1e-6)
+    assert by["d-mod-k"] == pytest.approx(4.0, abs=1e-6)   # = w_2
+    assert by["disjoint(2)"] == pytest.approx(2.0, abs=1e-6)  # halves it
+    assert by["disjoint(4)"] == pytest.approx(1.0, abs=1e-6)  # K = max
+    # The clean 2-level law: PERF = w_2 / K for both d-mod-k heuristics.
+    assert by["disjoint(3)"] == pytest.approx(4.0 / 3.0, abs=1e-6)
+    assert by["shift-1(3)"] == pytest.approx(4.0 / 3.0, abs=1e-6)

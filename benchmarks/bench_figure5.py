@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 5: message delay vs offered load.
+
+Runs the paper's eight curves (d-mod-k, disjoint(2,8), shift-1(2,8),
+random(1,2,8)) on the 8-port 3-tree under uniform traffic.  Expected
+shape: hockey-stick delay curves with the multi-path knees to the right
+of the d-mod-k knee.
+"""
+
+from repro.experiments import figure5
+
+from benchmarks.conftest import bench_fidelity, record
+
+_FAST = bench_fidelity() == "fast"
+_LOADS = (0.2, 0.4, 0.6, 0.8) if _FAST else figure5.DEFAULT_LOADS
+
+
+def test_figure5(benchmark, fidelity_name):
+    result = benchmark.pedantic(
+        figure5.run,
+        kwargs=dict(fidelity_name=fidelity_name, loads=_LOADS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+
+    # Delay grows with offered load for every curve.
+    for spec, sweep in result.sweeps.items():
+        delays = [d for d in sweep.delays if d == d]
+        assert delays[0] < delays[-1], spec
+    # Multi-path saturates no earlier than single-path d-mod-k.
+    dmodk_sat = result.sweeps["d-mod-k"].saturation_load()
+    assert result.sweeps["disjoint:8"].saturation_load() >= dmodk_sat - 0.21

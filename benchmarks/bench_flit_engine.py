@@ -1,0 +1,25 @@
+"""Microbenchmark of the flit-level event engine.
+
+Times a fixed-window run on the paper's 8-port 3-tree at moderate load
+and reports the event-processing rate — the figure that bounds how long
+Table 1 / Figure 5 regeneration takes.
+"""
+
+from repro.flit.config import FlitConfig
+from repro.flit.engine import FlitSimulator
+from repro.flit.workload import UniformRandom
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+
+
+def test_engine_event_rate(benchmark):
+    xgft = m_port_n_tree(8, 3)
+    cfg = FlitConfig(warmup_cycles=200, measure_cycles=1500, drain_cycles=500)
+    sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:4"), cfg)
+
+    result = benchmark(sim.run, UniformRandom(0.6), seed=1)
+    assert result.events > 10_000
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.mean
+    )

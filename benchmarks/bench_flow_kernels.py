@@ -1,0 +1,45 @@
+"""Microbenchmarks of the vectorized flow-level kernels.
+
+These time the hot paths the Figure 4 protocol leans on: per-permutation
+link-load evaluation (up to the 3456-node 24-port 3-tree with K = 144)
+and the Lemma 1 lower bound.  Regressions here multiply directly into
+experiment wall time.
+"""
+
+import pytest
+
+from repro.flow.loads import link_loads
+from repro.flow.metrics import ml_lower_bound
+from repro.routing.factory import make_scheme
+from repro.routing.vectorized import compile_routes
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.permutations import permutation_matrix, random_permutation
+
+
+@pytest.fixture(scope="module")
+def big_tree():
+    return m_port_n_tree(24, 3)  # 3456 processing nodes
+
+
+@pytest.fixture(scope="module")
+def big_perm(big_tree):
+    return permutation_matrix(random_permutation(big_tree.n_procs, 0))
+
+
+@pytest.mark.parametrize("spec", ["d-mod-k", "disjoint:8", "random:8", "umulti"])
+def test_link_loads_permutation(benchmark, big_tree, big_perm, spec):
+    scheme = make_scheme(big_tree, spec)
+    loads = benchmark(link_loads, big_tree, scheme, big_perm)
+    assert loads.sum() > 0
+
+
+def test_ml_lower_bound(benchmark, big_tree, big_perm):
+    bound = benchmark(ml_lower_bound, big_tree, big_perm)
+    assert bound >= 1.0
+
+
+def test_route_compilation_128_nodes(benchmark):
+    xgft = m_port_n_tree(8, 3)
+    scheme = make_scheme(xgft, "disjoint:8")
+    table = benchmark(compile_routes, xgft, scheme)
+    assert len(table) == xgft.n_procs * (xgft.n_procs - 1)

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the InfiniBand resource-budget analysis.
+
+The paper's motivation: unlimited multi-path routing exceeds the LID/LMC
+budget on real fabrics (144 paths on the 24-port 3-tree), while limited
+multi-path with small K fits.  Also reports the effective path diversity
+nearby pairs retain under each heuristic's LID realization — a
+reproduction-original ablation showing another disjoint advantage.
+"""
+
+from repro.experiments import resources
+
+from benchmarks.conftest import record
+
+
+def test_ib_resources(benchmark):
+    result = benchmark.pedantic(resources.run, rounds=1, iterations=1)
+    record(benchmark, result)
+
+    by_k = {(r.topology, r.k_paths): r for r in result.reports}
+    ranger = "XGFT(3; 12,12,24; 1,12,12)"
+    assert not by_k[(ranger, 144)].feasible   # unlimited: impossible
+    assert by_k[(ranger, 8)].feasible          # limited: fits
+    # Disjoint preserves full diversity for NCA-2 pairs; shift-1 loses it.
+    disjoint_nca2 = {k: v for (s, k, l, v) in
+                     [r for r in result.diversity_rows] if s == "disjoint" and l == 2}
+    shift_nca2 = {k: v for (s, k, l, v) in
+                  [r for r in result.diversity_rows] if s == "shift-1" and l == 2}
+    assert all(disjoint_nca2[k] >= shift_nca2[k] for k in disjoint_nca2)
+    assert disjoint_nca2[4] == 4 and shift_nca2[4] < 4

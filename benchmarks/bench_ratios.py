@@ -1,0 +1,25 @@
+"""Benchmark regenerating the oblivious-ratio landscape.
+
+Quantifies Section 4.1's message: the worst-case (oblivious) performance
+gap of single-path routing and how limited multi-path closes it with K.
+On the 8-port 2-tree, PERF(d-mod-k) >= m_1 = 4 is witnessed by the
+adversarial permutation; PERF(umulti) = 1 (Theorem 1).
+"""
+
+from repro.experiments import ratios
+
+from benchmarks.conftest import record
+
+
+def test_oblivious_ratios(benchmark):
+    result = benchmark.pedantic(
+        ratios.run, kwargs=dict(ks=(2, 4), permutation_samples=40),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+
+    by_label = {r[0]: r[1] for r in result.rows}
+    assert by_label["umulti"] == 1.0
+    assert by_label["d-mod-k"] >= 2.0
+    assert by_label["disjoint(4)"] <= by_label["disjoint(2)"] + 1e-9
+    assert by_label["disjoint(2)"] < by_label["d-mod-k"]

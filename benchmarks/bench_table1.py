@@ -1,0 +1,37 @@
+"""Benchmark regenerating Table 1: max throughput, uniform traffic.
+
+Runs the flit-level load sweep on the paper's 8-port 3-tree for
+``K in {1, 2, 4, 8}`` per heuristic.  Paper anchors at K=8: shift-1
+67.65 %, random 69.75 %, disjoint 70.35 % — the reproduction checks the
+*shape*: multi-path (K >= 2) beats d-mod-k, random(1) trails it, and
+disjoint leads at small K.
+"""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import bench_fidelity, record
+
+_FAST = bench_fidelity() == "fast"
+_LOADS = (0.6, 0.8, 1.0) if _FAST else (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+_SEEDS = (0,) if _FAST else (0, 1, 2, 3, 4)
+
+
+def test_table1(benchmark, fidelity_name):
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs=dict(fidelity_name=fidelity_name, loads=_LOADS,
+                    random_seeds=_SEEDS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+
+    # Shape anchors (loose at fast fidelity, tight at full):
+    # 1. K=1 random single-path is the weakest scheme.
+    assert result.cells["random"][0] < result.dmodk
+    # 2. The d-mod-k-based heuristics at K>=2 beat single-path d-mod-k.
+    k2 = result.ks.index(2)
+    assert result.cells["disjoint"][k2] > result.dmodk * 0.98
+    # 3. Throughput at K=8 is at or above K=1 for every heuristic.
+    k1, k8 = result.ks.index(1), result.ks.index(8)
+    for name in table1.HEURISTICS:
+        assert result.cells[name][k8] >= result.cells[name][k1] * 0.97

@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has a benchmark that *regenerates its rows* and
+prints them (captured by ``pytest -s`` or the benchmark's extra_info).
+Benchmarks default to a reduced "fast" fidelity so the whole suite
+finishes in minutes; set ``REPRO_BENCH_FIDELITY=normal`` (or ``full``)
+to run the paper-scale protocol (EXPERIMENTS.md records such a run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_fidelity() -> str:
+    return os.environ.get("REPRO_BENCH_FIDELITY", "fast")
+
+
+@pytest.fixture
+def fidelity_name() -> str:
+    return bench_fidelity()
+
+
+def record(benchmark, result) -> str:
+    """Attach a rendered experiment result to the benchmark record and
+    echo it so ``pytest -s`` shows the regenerated rows."""
+    text = result.render()
+    benchmark.extra_info["rendered"] = text
+    print("\n" + text)
+    return text

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Replaying a collective schedule on the flit-level network.
+
+Compiles a shift all-to-all exchange (the schedule the paper's reference
+[17] optimizes routing for) into an injection trace and replays the
+*identical* trace under three routing schemes — so every difference in
+delay is routing, not workload noise.
+
+Run:  python examples/collective_replay.py
+"""
+
+import repro
+from repro.flit import FlitConfig, FlitSimulator, phased_trace
+from repro.traffic import shift_all_to_all
+
+
+def main() -> None:
+    xgft = repro.m_port_n_tree(8, 2)
+    cfg = FlitConfig(warmup_cycles=0, measure_cycles=40_000,
+                     drain_cycles=10_000)
+    trace = phased_trace(
+        shift_all_to_all(xgft.n_procs),
+        messages_per_phase=1,
+        phase_gap=1200,
+    )
+    print(f"shift all-to-all on {xgft}: {xgft.n_procs - 1} phases, "
+          f"{len(trace)} messages\n")
+
+    print(f"{'scheme':12s} {'mean delay':>10s} {'p95':>8s} {'max':>8s} "
+          f"{'completed':>9s}")
+    for spec in ("d-mod-k", "disjoint:4", "random:4"):
+        sim = FlitSimulator(xgft, repro.make_scheme(xgft, spec), cfg)
+        res = sim.run_trace(trace)
+        print(f"{spec:12s} {res.mean_delay:10.1f} {res.p95_delay:8.1f} "
+              f"{res.max_delay:8.0f} "
+              f"{res.messages_completed:5d}/{res.messages_measured}")
+
+    print("\nEvery phase of a shift schedule is a permutation that d-mod-k "
+          "routes with zero\ncontention (the Zahavi result), so here the "
+          "deterministic single path wins and\nmulti-path spreading only adds "
+          "collisions.  The paper's heuristics win on the\npatterns d-mod-k "
+          "cannot balance — random permutations (Figure 4) and the\n"
+          "adversarial pattern (examples/adversarial_dmodk.py).  Routing is "
+          "a bet on the\nworkload; limited multi-path hedges it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""A Figure-4-style flow-level study on a small fat-tree.
+
+Runs the paper's adaptive permutation-sampling protocol (99 % CI within
+1 %) on the 8-port 3-tree and prints average maximum link load versus the
+path limit K for all heuristics — the library's headline experiment at
+laptop scale.  Expect: graceful decrease with K, disjoint best, optimal
+reached at K = 16.
+
+Run:  python examples/permutation_study.py
+"""
+
+import repro
+from repro.experiments.figure4 import run_panel
+
+
+def main() -> None:
+    xgft = repro.m_port_n_tree(8, 3)
+    result = run_panel(
+        "b",
+        topology=xgft,
+        fidelity_name="normal",
+        dense_k=True,
+        seed=2012,
+    )
+    print(result.render())
+    print(f"\npermutation samples evaluated: {result.samples_used}")
+
+    # Sanity anchors from the theory: UMULTI is optimal (ratio 1) and the
+    # heuristics reach it at K = max_paths.
+    last = {h: result.series[h][-1] for h in result.series}
+    print(f"at K = {xgft.max_paths}, all heuristics coincide with UMULTI: "
+          f"{last}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: topologies, routing schemes, and both simulators.
+
+Builds the paper's topologies, routes a pair with every scheme, evaluates
+a random permutation at the flow level, and runs a short flit-level
+simulation — a tour of the whole public API in under a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.flit import FlitConfig, FlitSimulator, UniformRandom
+
+
+def main() -> None:
+    # 1. Topologies: m-port n-trees are XGFTs (the paper's Section 5 set).
+    xgft = repro.m_port_n_tree(8, 3)  # XGFT(3; 4,4,8; 1,4,4), 128 nodes
+    print(xgft.describe())
+    print()
+
+    # 2. Routing: single-path baselines and limited multi-path heuristics.
+    src, dst = 0, 127
+    for spec in ("d-mod-k", "shift-1:4", "disjoint:4", "random:4", "umulti"):
+        scheme = repro.make_scheme(xgft, spec)
+        rs = scheme.route(src, dst)
+        print(f"{scheme.label:12s} -> paths {rs.indices[:8]}"
+              f"{' ...' if rs.num_paths > 8 else ''}  ({rs.num_paths} total)")
+    print()
+
+    # 3. Flow level: maximum link load of a random permutation, and how
+    #    far each scheme is from the provable optimum (Theorem 1).
+    perm = repro.permutation_matrix(repro.random_permutation(xgft.n_procs, seed=42))
+    sim = repro.FlowSimulator(xgft)
+    print("flow level, one random permutation:")
+    for spec in ("d-mod-k", "shift-1:4", "disjoint:4", "umulti"):
+        res = sim.evaluate(repro.make_scheme(xgft, spec), perm)
+        print(f"  {spec:12s} max load {res.max_load:6.3f}   "
+              f"optimal {res.optimal:.3f}   ratio {res.ratio:.3f}")
+    print()
+
+    # 4. Flit level: virtual cut-through with credit flow control.
+    cfg = FlitConfig(warmup_cycles=500, measure_cycles=2000, drain_cycles=3000)
+    print("flit level, uniform traffic at 60% offered load:")
+    for spec in ("d-mod-k", "disjoint:4"):
+        fsim = FlitSimulator(xgft, repro.make_scheme(xgft, spec), cfg)
+        run = fsim.run(UniformRandom(0.6))
+        print(f"  {spec:12s} throughput {run.throughput:.3f}   "
+              f"mean delay {run.mean_delay:7.1f} cycles")
+
+
+if __name__ == "__main__":
+    main()

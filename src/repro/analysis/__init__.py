@@ -1,0 +1,25 @@
+"""Analytical results: bounds, theorem validators, oblivious-ratio search."""
+
+from repro.analysis.ci import ConfidenceInterval, confidence_interval, z_value
+from repro.analysis.theorems import (
+    check_lemma1,
+    check_theorem1,
+    check_theorem2,
+    TheoremReport,
+)
+from repro.analysis.ratio import empirical_oblivious_ratio, worst_case_permutation
+from repro.analysis.exact_ratio import ExactRatioResult, exact_oblivious_ratio
+
+__all__ = [
+    "ExactRatioResult",
+    "exact_oblivious_ratio",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "z_value",
+    "check_lemma1",
+    "check_theorem1",
+    "check_theorem2",
+    "TheoremReport",
+    "empirical_oblivious_ratio",
+    "worst_case_permutation",
+]

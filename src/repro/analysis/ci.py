@@ -1,0 +1,76 @@
+"""Confidence intervals and the paper's adaptive stopping rule.
+
+Section 5: "we first sample random permutations and compute the average
+maximum permutation load ... compute the confidence interval with 99%
+confidence level.  If the confidence interval is less than 1% of the
+average, we stop ... otherwise we double the number of samples and
+repeat."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+import numpy as np
+
+# Two-sided normal quantiles for the confidence levels used in practice;
+# scipy is an optional dependency so the common cases are tabulated.
+_Z_TABLE = {0.90: 1.6448536269514722, 0.95: 1.959963984540054,
+            0.99: 2.5758293035489004, 0.999: 3.2905267314918945}
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided standard-normal quantile for ``confidence``.
+
+    Uses a small table for common levels and falls back to
+    ``scipy.special.ndtri`` for anything else.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    for level, z in _Z_TABLE.items():
+        if abs(confidence - level) < 1e-12:
+            return z
+    from scipy.special import ndtri  # lazy: optional dependency
+
+    return float(ndtri(0.5 + confidence / 2.0))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean estimate with its symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n_samples: int
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (inf for zero mean)."""
+        if self.mean == 0.0:
+            return 0.0 if self.half_width == 0.0 else float("inf")
+        return self.half_width / abs(self.mean)
+
+    def meets(self, rel_precision: float) -> bool:
+        """True once the interval is tighter than ``rel_precision`` of
+        the mean (the paper uses 0.01)."""
+        return self.relative_half_width <= rel_precision
+
+
+def confidence_interval(samples, confidence: float = 0.99) -> ConfidenceInterval:
+    """Normal-approximation CI of the sample mean.
+
+    With fewer than 2 samples the half-width is infinite (never meets a
+    precision target), forcing the adaptive loop to keep sampling.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    n = len(arr)
+    if n == 0:
+        return ConfidenceInterval(float("nan"), float("inf"), confidence, 0)
+    mean = float(arr.mean())
+    if n == 1:
+        return ConfidenceInterval(mean, float("inf"), confidence, 1)
+    std = float(arr.std(ddof=1))
+    half = z_value(confidence) * std / sqrt(n)
+    return ConfidenceInterval(mean, half, confidence, n)

@@ -1,0 +1,89 @@
+"""Empirical oblivious-ratio estimation.
+
+The oblivious performance ratio ``PERF(r)`` maximizes ``PERF(r, TM)``
+over *all* traffic matrices — not computable exactly in general, but a
+useful lower bound comes from searching a family of hard instances:
+random permutations, the structured patterns, and the Theorem 2
+construction when feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.flow.metrics import performance_ratio
+from repro.routing.base import RoutingScheme
+from repro.topology.xgft import XGFT
+from repro.traffic.adversarial import theorem2_pattern
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.permutations import permutation_matrix, random_permutation
+from repro.traffic.synthetic import bit_complement, shift_pattern
+from repro.util.rng import as_generator
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """A lower bound on the oblivious performance ratio and its witness."""
+
+    ratio: float
+    witness: str
+
+
+def worst_case_permutation(
+    xgft: XGFT,
+    scheme: RoutingScheme,
+    *,
+    samples: int = 200,
+    seed=None,
+) -> tuple[float, np.ndarray]:
+    """The worst performance ratio among ``samples`` random permutations;
+    returns ``(ratio, permutation)``."""
+    rng = as_generator(seed)
+    best = 0.0
+    best_perm = np.arange(xgft.n_procs)
+    for _ in range(samples):
+        perm = random_permutation(xgft.n_procs, rng)
+        ratio = performance_ratio(xgft, scheme, permutation_matrix(perm))
+        if ratio > best:
+            best, best_perm = ratio, perm
+    return best, best_perm
+
+
+def empirical_oblivious_ratio(
+    xgft: XGFT,
+    scheme: RoutingScheme,
+    *,
+    permutation_samples: int = 100,
+    seed=None,
+) -> RatioEstimate:
+    """Search hard traffic instances for the largest performance ratio.
+
+    This is a *lower bound* on ``PERF(scheme)``; for UMULTI it returns
+    1.0 exactly (Theorem 1).
+    """
+    candidates: list[tuple[str, TrafficMatrix]] = []
+    n = xgft.n_procs
+    for stride in {1, xgft.M(max(xgft.h - 1, 1)), n // 2 or 1}:
+        candidates.append((f"shift({stride})", shift_pattern(n, stride)))
+    if n & (n - 1) == 0 and n > 1:
+        candidates.append(("bit_complement", bit_complement(n)))
+    try:
+        candidates.append(("theorem2", theorem2_pattern(xgft)))
+    except TrafficError:
+        pass  # construction infeasible on this topology
+
+    best = RatioEstimate(1.0, "identity")
+    for name, tm in candidates:
+        ratio = performance_ratio(xgft, scheme, tm)
+        if ratio > best.ratio:
+            best = RatioEstimate(ratio, name)
+
+    perm_ratio, _ = worst_case_permutation(
+        xgft, scheme, samples=permutation_samples, seed=seed
+    )
+    if perm_ratio > best.ratio:
+        best = RatioEstimate(perm_ratio, "random permutation")
+    return best

@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>`` / ``xgft-repro``.
+
+Commands
+--------
+* ``info <xgft-spec>`` — describe a topology;
+* ``route <xgft-spec> <scheme> <src> <dst>`` — print a pair's route set;
+* ``figure4a..d | table1 | figure5 | theorems | resources`` — regenerate
+  a paper artifact (``--fidelity fast|normal|full``);
+* ``list`` — list registered experiments.
+
+Topology specs: ``mport:8x3`` (8-port 3-tree), ``kary:4x2`` (4-ary
+2-tree), or an explicit ``xgft:3;4,4,8;1,4,4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.routing.factory import available_schemes, make_scheme
+from repro.topology.variants import k_ary_n_tree, m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+def parse_topology(spec: str) -> XGFT:
+    """Parse a topology spec string (see module docstring).
+
+    >>> parse_topology("mport:8x3")
+    XGFT(3; 4,4,8; 1,4,4)
+    >>> parse_topology("xgft:2;4,8;1,4")
+    XGFT(2; 4,8; 1,4)
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.lower()
+    try:
+        if kind == "mport":
+            m, n = rest.split("x")
+            return m_port_n_tree(int(m), int(n))
+        if kind == "kary":
+            k, n = rest.split("x")
+            return k_ary_n_tree(int(k), int(n))
+        if kind == "xgft":
+            h_str, ms, ws = rest.split(";")
+            return XGFT(int(h_str),
+                        [int(x) for x in ms.split(",")],
+                        [int(x) for x in ws.split(",")])
+    except (ValueError, ReproError) as exc:
+        raise ReproError(f"bad topology spec {spec!r}: {exc}") from None
+    raise ReproError(
+        f"unknown topology kind {kind!r}; use mport:MxN, kary:KxN or "
+        f"xgft:h;m1,..;w1,.."
+    )
+
+
+def _cmd_info(args) -> int:
+    xgft = parse_topology(args.topology)
+    print(xgft.describe())
+    return 0
+
+
+def _cmd_route(args) -> int:
+    xgft = parse_topology(args.topology)
+    scheme = make_scheme(xgft, args.scheme, seed=args.seed)
+    rs = scheme.route(args.src, args.dst)
+    print(f"{scheme.label} routes {args.src} -> {args.dst} "
+          f"(NCA level {rs.nca_level}, {rs.num_paths} path(s)):")
+    for path, frac in zip(rs.paths(xgft), rs.fractions):
+        print(f"  [{frac:.3f}] Path {path.index}: {path.describe(xgft)}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(f"{name:10s} {EXPERIMENTS[name].description}")
+    print("\nschemes:", ", ".join(available_schemes()))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = run_experiment(args.experiment, fidelity_name=args.fidelity)
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xgft-repro",
+        description="Limited multi-path routing on extended generalized "
+                    "fat-trees (IPDPS'12 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a topology")
+    p_info.add_argument("topology", help="e.g. mport:8x3 or xgft:2;4,8;1,4")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_route = sub.add_parser("route", help="print a pair's route set")
+    p_route.add_argument("topology")
+    p_route.add_argument("scheme", help="e.g. d-mod-k, disjoint:4")
+    p_route.add_argument("src", type=int)
+    p_route.add_argument("dst", type=int)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.set_defaults(func=_cmd_route)
+
+    p_list = sub.add_parser("list", help="list experiments and schemes")
+    p_list.set_defaults(func=_cmd_list)
+
+    for name, exp in EXPERIMENTS.items():
+        p_exp = sub.add_parser(name, help=exp.description)
+        p_exp.add_argument("--fidelity", choices=("fast", "normal", "full"),
+                           default="normal")
+        p_exp.set_defaults(func=_cmd_experiment, experiment=name)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Invalid XGFT parameters or a malformed topology query."""
+
+
+class RoutingError(ReproError):
+    """Invalid routing request (unknown scheme, bad path index, ...)."""
+
+
+class TrafficError(ReproError):
+    """Invalid traffic matrix or traffic-pattern parameters."""
+
+
+class SimulationError(ReproError):
+    """Flow- or flit-level simulation misconfiguration."""
+
+
+class ResourceError(ReproError):
+    """InfiniBand-style resource exhaustion (LID address space, ...)."""

@@ -1,0 +1,99 @@
+"""Figure 5: average message delay vs offered load (flit level).
+
+On the 8-port 3-tree under uniform traffic, plot mean message delay
+against offered load for the paper's curve set: d-mod-k, disjoint(2),
+disjoint(8), shift-1(2), shift-1(8), random(1), random(2), random(8).
+Expected shape: hockey-stick curves (tree saturation under virtual
+cut-through), multi-path schemes saturating at higher load than
+d-mod-k, and disjoint's knee rightmost for equal K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Fidelity, fidelity
+from repro.flit.config import FlitConfig
+from repro.flit.sweep import SweepResult, load_sweep
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+from repro.util.ascii_chart import AsciiChart
+from repro.util.tables import format_table
+
+#: the paper's Figure 5 curve specs
+CURVES = (
+    "d-mod-k",
+    "disjoint:2",
+    "disjoint:8",
+    "shift-1:2",
+    "shift-1:8",
+    "random:1",
+    "random:2",
+    "random:8",
+)
+
+DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Delay-vs-load sweeps per curve."""
+
+    topology: str
+    loads: tuple[float, ...]
+    sweeps: dict[str, SweepResult]
+
+    def rows(self) -> list[list]:
+        out = []
+        for i, load in enumerate(self.loads):
+            row: list = [load]
+            for spec in self.sweeps:
+                row.append(self.sweeps[spec].delays[i])
+            out.append(row)
+        return out
+
+    def render(self) -> str:
+        table = format_table(
+            ["load", *self.sweeps.keys()], self.rows(),
+            title=f"Figure 5: mean message delay (cycles), {self.topology}",
+            floatfmt=".1f",
+        )
+        chart = AsciiChart(width=60, height=16)
+        for spec, sweep in self.sweeps.items():
+            # Clip the post-saturation explosion so pre-knee shape stays
+            # readable; saturation is still visible as the series ending.
+            xs, ys = [], []
+            for load, delay, run in zip(sweep.loads, sweep.delays, sweep.runs):
+                if delay == delay and not run.saturated:
+                    xs.append(load)
+                    ys.append(delay)
+            if xs:
+                chart.add_series(spec, xs, ys)
+        return table + "\n\n" + chart.render(
+            xlabel="offered load", ylabel="delay"
+        )
+
+
+def run(
+    *,
+    fidelity_name: str | Fidelity = "normal",
+    topology: XGFT | None = None,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    config: FlitConfig | None = None,
+    curves: tuple[str, ...] = CURVES,
+) -> Figure5Result:
+    """Regenerate Figure 5's delay curves."""
+    fid = fidelity(fidelity_name)
+    xgft = topology if topology is not None else m_port_n_tree(8, 3)
+    cfg = config if config is not None else FlitConfig(
+        warmup_cycles=fid.warmup_cycles,
+        measure_cycles=fid.measure_cycles,
+        drain_cycles=fid.drain_cycles,
+    )
+    sweeps = {}
+    for spec in curves:
+        scheme = make_scheme(xgft, spec)
+        sweeps[spec] = load_sweep(xgft, scheme, cfg, loads=loads,
+                                  repeats=fid.flit_repeats)
+    return Figure5Result(repr(xgft), tuple(loads), sweeps)

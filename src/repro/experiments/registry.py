@@ -1,0 +1,107 @@
+"""Experiment registry: names the CLI and benchmarks dispatch on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named, runnable reproduction target."""
+
+    name: str
+    description: str
+    runner: Callable[..., object]  # returns a result with .render()
+
+
+def _figure4_runner(panel: str):
+    def run(**kwargs):
+        from repro.experiments.figure4 import run_panel
+
+        return run_panel(panel, **kwargs)
+
+    return run
+
+
+def _table1(**kwargs):
+    from repro.experiments import table1
+
+    return table1.run(**kwargs)
+
+
+def _figure5(**kwargs):
+    from repro.experiments import figure5
+
+    return figure5.run(**kwargs)
+
+
+def _theorems(**kwargs):
+    from repro.experiments import theorems
+
+    return theorems.run(**kwargs)
+
+
+def _resources(**kwargs):
+    from repro.experiments import resources
+
+    return resources.run(**kwargs)
+
+
+def _ratios(**kwargs):
+    from repro.experiments import ratios
+
+    return ratios.run(**kwargs)
+
+
+def _exact_ratios(**kwargs):
+    from repro.experiments import exact_ratios
+
+    return exact_ratios.run(**kwargs)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    **{
+        f"figure4{p}": Experiment(
+            f"figure4{p}",
+            f"Figure 4({p}): avg max permutation load vs K",
+            _figure4_runner(p),
+        )
+        for p in "abcd"
+    },
+    "table1": Experiment(
+        "table1", "Table 1: max throughput, uniform traffic, flit level", _table1
+    ),
+    "figure5": Experiment(
+        "figure5", "Figure 5: message delay vs offered load, flit level", _figure5
+    ),
+    "theorems": Experiment(
+        "theorems", "Lemma 1 / Theorem 1 / Theorem 2 validation", _theorems
+    ),
+    "resources": Experiment(
+        "resources", "InfiniBand LID budget vs path limit (motivation)", _resources
+    ),
+    "ratios": Experiment(
+        "ratios", "empirical oblivious-ratio lower bounds per scheme", _ratios
+    ),
+    "exact-ratios": Experiment(
+        "exact-ratios", "exact oblivious ratios via LP (small trees)",
+        _exact_ratios,
+    ),
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str, **kwargs):
+    """Run a registered experiment and return its result object."""
+    return get_experiment(name).runner(**kwargs)

@@ -1,0 +1,41 @@
+"""Graph-based fabric routing (an OpenSM-style subnet manager).
+
+The closed-form schemes in :mod:`repro.routing` exploit XGFT structure
+analytically.  Real InfiniBand fabrics are *discovered* as port-level
+graphs and routed by the subnet manager's fat-tree algorithm with no
+closed form — which also lets them tolerate miscabling and failed
+links.  This package provides that substrate:
+
+* :mod:`repro.fabric.graph` — the discovered-fabric model (switches,
+  hosts, cables) and a builder from any :class:`repro.topology.XGFT`;
+* :mod:`repro.fabric.ranking` — BFS rank assignment and fat-tree
+  structure validation (which links point up);
+* :mod:`repro.fabric.router` — counter-balanced destination-based
+  routing (the OpenSM ftree idea) with multi-LID support, producing
+  per-switch forwarding tables;
+* :mod:`repro.fabric.evaluate` — trace packets through the tables and
+  compute flow-level link loads, so graph-routed fabrics plug into the
+  same metrics as the closed-form schemes.
+
+On intact XGFTs the graph router matches the closed-form d-mod-k family
+in balance (tested); on degraded fabrics (failed links) it keeps every
+pair connected — the paper's heuristics inherit fault tolerance when
+deployed through a subnet manager.
+"""
+
+from repro.fabric.graph import Fabric, fabric_from_xgft
+from repro.fabric.ranking import FatTreeStructure, rank_fabric
+from repro.fabric.router import FabricRoutes, route_fabric
+from repro.fabric.evaluate import compile_flit_routes, fabric_link_loads, trace
+
+__all__ = [
+    "compile_flit_routes",
+    "Fabric",
+    "fabric_from_xgft",
+    "FatTreeStructure",
+    "rank_fabric",
+    "FabricRoutes",
+    "route_fabric",
+    "fabric_link_loads",
+    "trace",
+]

@@ -1,0 +1,141 @@
+"""The discovered-fabric model.
+
+A fabric is what a subnet manager sees after sweeping the network: a set
+of switches, a set of host (CA) ports, and cables between them — no
+levels, labels or closed forms.  Nodes are opaque integer ids; hosts are
+``0 .. n_hosts-1`` and switches are negative-free ids starting at
+``n_hosts``.
+
+Directed *channels* (one per cable direction) get dense ids so the
+flow-level evaluator can accumulate loads in arrays, mirroring
+:class:`repro.topology.XGFT`'s link registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.topology.xgft import XGFT
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One directed link of the fabric."""
+
+    src: int
+    dst: int
+
+
+class Fabric:
+    """A port-level network graph of hosts and switches.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of host (processing-node) ports; ids ``0..n_hosts-1``.
+    n_switches:
+        Number of switches; ids ``n_hosts..n_hosts+n_switches-1``.
+    cables:
+        Iterable of undirected node-id pairs.  Hosts must connect only
+        to switches.
+    """
+
+    def __init__(self, n_hosts: int, n_switches: int, cables) -> None:
+        if n_hosts < 1 or n_switches < 1:
+            raise TopologyError("a fabric needs at least one host and one switch")
+        self.n_hosts = n_hosts
+        self.n_switches = n_switches
+        self.n_nodes = n_hosts + n_switches
+        self.channels: list[Channel] = []
+        self.channel_id: dict[tuple[int, int], int] = {}
+        self.neighbors: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        seen: set[frozenset] = set()
+        for a, b in cables:
+            self._add_cable(int(a), int(b), seen)
+        for host in range(n_hosts):
+            if not self.neighbors[host]:
+                raise TopologyError(f"host {host} is not cabled to any switch")
+
+    def _add_cable(self, a: int, b: int, seen: set) -> None:
+        for x in (a, b):
+            if not 0 <= x < self.n_nodes:
+                raise TopologyError(f"node id {x} out of range")
+        if a == b:
+            raise TopologyError(f"self-cable at node {a}")
+        if self.is_host(a) and self.is_host(b):
+            raise TopologyError(f"hosts {a} and {b} cabled directly")
+        key = frozenset((a, b))
+        if key in seen:
+            raise TopologyError(f"duplicate cable {a} <-> {b}")
+        seen.add(key)
+        for src, dst in ((a, b), (b, a)):
+            self.channel_id[(src, dst)] = len(self.channels)
+            self.channels.append(Channel(src, dst))
+            self.neighbors[src].append(dst)
+
+    # ------------------------------------------------------------------
+    def is_host(self, node: int) -> bool:
+        return node < self.n_hosts
+
+    def is_switch(self, node: int) -> bool:
+        return node >= self.n_hosts
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    def switch_of(self, host: int) -> int:
+        """The (first) switch a host is cabled to."""
+        if not self.is_host(host):
+            raise TopologyError(f"{host} is not a host")
+        return self.neighbors[host][0]
+
+    def without_cable(self, a: int, b: int) -> "Fabric":
+        """A copy of the fabric with one cable removed (fault injection).
+
+        Raises :class:`TopologyError` if the cable does not exist.
+        """
+        if (a, b) not in self.channel_id:
+            raise TopologyError(f"no cable {a} <-> {b}")
+        cables = []
+        dropped = frozenset((a, b))
+        emitted = set()
+        for ch in self.channels:
+            key = frozenset((ch.src, ch.dst))
+            if key != dropped and key not in emitted:
+                emitted.add(key)
+                cables.append((ch.src, ch.dst))
+        return Fabric(self.n_hosts, self.n_switches, cables)
+
+    def __repr__(self) -> str:
+        return (f"Fabric(hosts={self.n_hosts}, switches={self.n_switches}, "
+                f"cables={self.n_channels // 2})")
+
+
+def fabric_from_xgft(xgft: XGFT) -> Fabric:
+    """Flatten an XGFT into a discovered fabric.
+
+    Node ids: hosts keep their processing-node ids; switches are
+    enumerated level-major (level 1 first) after the hosts.  The result
+    intentionally forgets all XGFT structure — ranking must rediscover
+    it.
+    """
+    if xgft.h < 1:
+        raise TopologyError("need at least one switch level")
+    offsets = {}
+    base = xgft.n_procs
+    for level in range(1, xgft.h + 1):
+        offsets[level] = base
+        base += xgft.level_size(level)
+    offsets[0] = 0
+
+    cables = []
+    for _, ref in xgft.iter_links():
+        if ref.kind.value != "up":
+            continue  # one cable per physical link
+        cables.append(
+            (offsets[ref.src_level] + ref.src_index,
+             offsets[ref.dst_level] + ref.dst_index)
+        )
+    return Fabric(xgft.n_procs, xgft.n_switches, cables)

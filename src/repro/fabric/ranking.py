@@ -1,0 +1,86 @@
+"""Rank assignment: rediscovering the tree structure of a fabric.
+
+A subnet manager's fat-tree routing first ranks every switch by its BFS
+distance from the hosts (leaf switches rank 1, their parents rank 2,
+...).  A channel then points *up* if it goes from a lower rank to a
+higher one.  Fat-tree routing requires every cable to cross exactly one
+rank boundary (no same-rank side links); :func:`rank_fabric` validates
+this and reports the structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.fabric.graph import Fabric
+
+
+@dataclass(frozen=True)
+class FatTreeStructure:
+    """Ranks and link orientation of a validated fat-tree fabric.
+
+    Attributes
+    ----------
+    rank:
+        Per-node rank: hosts 0, leaf switches 1, upward from there.
+    max_rank:
+        The root rank (tree height in switch levels).
+    up_neighbors / down_neighbors:
+        Per-node neighbor lists split by direction, each sorted by
+        node id (a deterministic left-to-right port order).
+    """
+
+    rank: tuple[int, ...]
+    max_rank: int
+    up_neighbors: tuple[tuple[int, ...], ...]
+    down_neighbors: tuple[tuple[int, ...], ...]
+
+    def is_up_channel(self, src: int, dst: int) -> bool:
+        return self.rank[dst] == self.rank[src] + 1
+
+
+def rank_fabric(fabric: Fabric) -> FatTreeStructure:
+    """BFS-rank a fabric from its hosts and validate fat-tree structure.
+
+    Raises :class:`TopologyError` when the graph is disconnected or has
+    a cable that does not cross exactly one rank boundary (side links /
+    skip links), i.e. is not a multi-stage fat tree.
+    """
+    rank = [-1] * fabric.n_nodes
+    queue: deque[int] = deque()
+    for host in range(fabric.n_hosts):
+        rank[host] = 0
+        queue.append(host)
+    while queue:
+        node = queue.popleft()
+        for nb in fabric.neighbors[node]:
+            if rank[nb] < 0:
+                rank[nb] = rank[node] + 1
+                queue.append(nb)
+
+    unreachable = [n for n in range(fabric.n_nodes) if rank[n] < 0]
+    if unreachable:
+        raise TopologyError(f"fabric is disconnected: nodes {unreachable[:5]}...")
+
+    up_nb: list[list[int]] = [[] for _ in range(fabric.n_nodes)]
+    down_nb: list[list[int]] = [[] for _ in range(fabric.n_nodes)]
+    for ch in fabric.channels:
+        dr = rank[ch.dst] - rank[ch.src]
+        if dr == 1:
+            up_nb[ch.src].append(ch.dst)
+        elif dr == -1:
+            down_nb[ch.src].append(ch.dst)
+        else:
+            raise TopologyError(
+                f"cable {ch.src} <-> {ch.dst} crosses {abs(dr)} rank "
+                f"boundaries; not a multi-stage fat tree"
+            )
+
+    return FatTreeStructure(
+        rank=tuple(rank),
+        max_rank=max(rank),
+        up_neighbors=tuple(tuple(sorted(x)) for x in up_nb),
+        down_neighbors=tuple(tuple(sorted(x)) for x in down_nb),
+    )

@@ -1,0 +1,137 @@
+"""Counter-balanced destination routing on discovered fabrics.
+
+The OpenSM ftree idea, distilled: route one *virtual destination* (a
+host + LID offset) at a time.  Every switch that can descend to the
+destination gets a down-entry; every other switch routes up through the
+parent with the smallest use counter, preferring parents that are
+already ancestors of the destination (which keeps paths shortest on
+intact fat-trees).  The counters persist across destinations and
+offsets, so consecutive offsets of the same host spread over different
+up-links — multi-LID routing with disjoint-ish diversity, computed with
+no topology closed form.
+
+Degraded fabrics are handled by restricting up choices to parents from
+which the destination is still reachable; pairs that become physically
+unreachable get ``NO_ROUTE`` entries instead of silent misroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.fabric.graph import Fabric
+from repro.fabric.ranking import FatTreeStructure, rank_fabric
+
+#: forwarding-table value for "destination unreachable from here"
+NO_ROUTE = -1
+
+
+@dataclass(frozen=True)
+class FabricRoutes:
+    """Compiled forwarding state for a fabric.
+
+    ``next_hop[node, v]`` is the node to forward to for virtual
+    destination ``v = host * n_offsets + offset`` (``NO_ROUTE`` if
+    unreachable).  Host rows hold the host's first hop (its leaf
+    switch choice).
+    """
+
+    fabric: Fabric
+    structure: FatTreeStructure
+    n_offsets: int
+    next_hop: np.ndarray
+
+    def vdest(self, host: int, offset: int = 0) -> int:
+        if not 0 <= offset < self.n_offsets:
+            raise RoutingError(
+                f"offset {offset} out of range [0, {self.n_offsets})"
+            )
+        if not 0 <= host < self.fabric.n_hosts:
+            raise RoutingError(f"host {host} out of range")
+        return host * self.n_offsets + offset
+
+    def unreachable_pairs(self) -> list[tuple[int, int]]:
+        """Ordered (src, dst) host pairs with no route (any offset
+        missing counts — offsets should be interchangeable)."""
+        bad = []
+        for s in range(self.fabric.n_hosts):
+            first_hop = self.next_hop[s]
+            for d in range(self.fabric.n_hosts):
+                if s == d:
+                    continue
+                if any(first_hop[self.vdest(d, o)] == NO_ROUTE
+                       for o in range(self.n_offsets)):
+                    bad.append((s, d))
+        return bad
+
+
+def route_fabric(
+    fabric: Fabric,
+    *,
+    n_offsets: int = 1,
+    structure: FatTreeStructure | None = None,
+) -> FabricRoutes:
+    """Compute counter-balanced forwarding tables for ``fabric``.
+
+    ``n_offsets`` is the number of LIDs (paths) per destination host.
+    """
+    if n_offsets < 1:
+        raise RoutingError(f"n_offsets must be >= 1, got {n_offsets}")
+    st = structure if structure is not None else rank_fabric(fabric)
+    n_nodes = fabric.n_nodes
+    n_vdest = fabric.n_hosts * n_offsets
+    next_hop = np.full((n_nodes, n_vdest), NO_ROUTE, dtype=np.int32)
+    up_counter: dict[tuple[int, int], int] = {}
+
+    for dest in range(fabric.n_hosts):
+        # Ancestor sets: switches that can reach `dest` purely downward,
+        # with the down neighbor to use (unique on trees; tie-broken by
+        # id otherwise).
+        down_via: dict[int, int] = {}
+        frontier = [dest]
+        seen = {dest}
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for parent in st.up_neighbors[node]:
+                    if parent not in down_via:
+                        down_via[parent] = node
+                        nxt.append(parent)
+                        seen.add(parent)
+            frontier = nxt
+        ancestors = set(down_via)
+
+        # Reachability of `dest` (up*/down*) per node, top rank downward.
+        reachable = set(ancestors)
+        reachable.add(dest)
+        for rank in range(st.max_rank - 1, -1, -1):
+            for node in range(n_nodes):
+                if st.rank[node] != rank or node in reachable:
+                    continue
+                if any(p in reachable for p in st.up_neighbors[node]):
+                    reachable.add(node)
+
+        for offset in range(n_offsets):
+            v = dest * n_offsets + offset
+            for node, child in down_via.items():
+                next_hop[node, v] = child
+            # Everyone else climbs via the least-used feasible parent.
+            for node in range(n_nodes):
+                if node in ancestors or node == dest:
+                    continue
+                parents = st.up_neighbors[node]
+                in_a = [p for p in parents if p in ancestors]
+                pool = in_a if in_a else [p for p in parents if p in reachable]
+                if not pool:
+                    continue  # stays NO_ROUTE
+                choice = min(
+                    pool, key=lambda p: (up_counter.get((node, p), 0), p)
+                )
+                up_counter[(node, choice)] = up_counter.get((node, choice), 0) + 1
+                next_hop[node, v] = choice
+
+    next_hop.setflags(write=False)
+    return FabricRoutes(fabric, st, n_offsets, next_hop)

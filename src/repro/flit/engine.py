@@ -1,0 +1,378 @@
+"""Event-driven virtual cut-through network engine.
+
+Models the paper's flit-level simulator: virtual cut-through (VCT)
+switching with credit-based flow control between switches and a single
+virtual channel, "to closely resemble InfiniBand networks".
+
+Switch model
+------------
+* Every directed channel terminates in a FIFO *input buffer* of
+  ``buffer_packets`` slots at the receiving switch; the sender holds one
+  credit per free slot and a packet may only start crossing a channel
+  when a credit is available (VCT reserves a full packet slot so a
+  blocked packet can sit in place).
+* Only the packet at the *head* of an input buffer can be forwarded
+  (single VC, FIFO buffers) — head-of-line blocking is modeled, which is
+  the contention mechanism limited multi-path routing attacks.
+* Buffers are read at link rate: after a head packet starts leaving, the
+  next packet becomes eligible ``packet_flits`` cycles later.
+* Each output port serves competing input buffers in request (FIFO)
+  order and transmits one flit per cycle, so a packet occupies the port
+  for ``packet_flits`` cycles.
+* Cut-through: a header can be forwarded as soon as it has arrived
+  (``wire_delay`` + ``routing_delay`` after the upstream transmission
+  started) — latency per hop is a couple of cycles, not a packet time.
+* Hosts have unbounded injection queues (delay includes source
+  queueing) and sink packets at link rate.
+
+Granularity: packets with flit-time arithmetic.  Individual flits carry
+no extra information under cut-through, so events are O(packets x hops),
+independent of packet size — the property that keeps a Python flit-level
+study tractable (DESIGN.md Section 7).  Blocking propagates through
+credits, producing tree saturation beyond the knee exactly as in the
+paper's discussion.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappop, heappush
+
+from repro.errors import SimulationError
+from repro.flit.config import FlitConfig
+from repro.flit.message import Message, Packet
+from repro.flit.stats import FlitRunResult, delay_stats
+from repro.flit.workload import Workload
+from repro.routing.base import RoutingScheme
+from repro.routing.vectorized import compile_routes
+from repro.topology.xgft import XGFT
+
+# Event kinds (heap entries are (time, seq, kind, payload)).
+_INJECT = 0       # payload: host id
+_HEADER = 1       # payload: Packet — header arrived at next input buffer
+_PORT_FREE = 2    # payload: channel id — output port finished a packet
+_CREDIT = 3       # payload: channel id — downstream slot freed
+_DELIVER = 4      # payload: Packet — tail reached the destination host
+_HEAD_READY = 5   # payload: buffer id — buffer read port free for next head
+
+
+class _Fifo:
+    """Append-only FIFO with an amortized O(1) pop-from-front."""
+
+    __slots__ = ("items", "head")
+
+    def __init__(self):
+        self.items: list = []
+        self.head = 0
+
+    def push(self, item) -> None:
+        self.items.append(item)
+
+    def pop(self):
+        item = self.items[self.head]
+        self.head += 1
+        if self.head > 64 and self.head * 2 > len(self.items):
+            del self.items[: self.head]
+            self.head = 0
+        return item
+
+    def peek(self):
+        return self.items[self.head]
+
+    def __len__(self) -> int:
+        return len(self.items) - self.head
+
+
+class FlitSimulator:
+    """Flit-level simulator bound to one topology and routing scheme.
+
+    Route sets for all SD pairs are compiled once (vectorized) and reused
+    across runs, so load sweeps only pay the event loop.
+
+    >>> from repro.topology import m_port_n_tree
+    >>> from repro.routing import make_scheme
+    >>> from repro.flit import FlitConfig, FlitSimulator, UniformRandom
+    >>> xgft = m_port_n_tree(4, 2)
+    >>> sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"),
+    ...                     FlitConfig(warmup_cycles=200, measure_cycles=500))
+    >>> result = sim.run(UniformRandom(0.2))
+    >>> result.throughput > 0
+    True
+    """
+
+    def __init__(self, xgft: XGFT, scheme: RoutingScheme, config: FlitConfig):
+        if scheme.xgft != xgft:
+            raise SimulationError("scheme was built for a different topology")
+        self.xgft = xgft
+        self.scheme = scheme
+        self.config = config
+        self.routes = compile_routes(xgft, scheme)
+        self._n_procs = xgft.n_procs
+        self._n_channels = xgft.n_links
+
+    @classmethod
+    def from_tables(
+        cls,
+        n_hosts: int,
+        n_channels: int,
+        routes: dict[int, list[tuple[int, ...]]],
+        config: FlitConfig,
+    ) -> "FlitSimulator":
+        """Build a simulator from precompiled routes on an arbitrary
+        channel graph (e.g. :func:`repro.fabric.evaluate.
+        compile_flit_routes` for a — possibly degraded — discovered
+        fabric).
+
+        ``routes`` maps pair keys ``src * n_hosts + dst`` to non-empty
+        lists of channel-id paths; every ordered host pair that the
+        workload can produce must be present.
+        """
+        if n_hosts < 1 or n_channels < 1:
+            raise SimulationError("need at least one host and one channel")
+        sim = cls.__new__(cls)
+        sim.xgft = None
+        sim.scheme = None
+        sim.config = config
+        sim.routes = routes
+        sim._n_procs = n_hosts
+        sim._n_channels = n_channels
+        for key, paths in routes.items():
+            if not paths:
+                raise SimulationError(f"pair key {key} has no paths")
+        return sim
+
+    # ------------------------------------------------------------------
+    def run_trace(self, entries, *, seed: int | None = None) -> FlitRunResult:
+        """Replay an explicit injection trace (see :mod:`repro.flit.traces`).
+
+        Every ``(cycle, src, dst)`` entry becomes one message at exactly
+        that cycle, regardless of the measurement window (entries inside
+        ``[warmup, warmup+measure)`` are the measured ones).  The seed
+        only affects path selection randomness.
+        """
+        return self.run(None, seed=seed, _trace=tuple(entries))
+
+    def run(self, workload: Workload | None, *, seed: int | None = None,
+            _trace=None) -> FlitRunResult:
+        """Simulate ``workload`` and return window statistics."""
+        if workload is None and _trace is None:
+            raise SimulationError("need a workload or a trace")
+        cfg = self.config
+        n_procs = self._n_procs
+        n_channels = self._n_channels
+        rng = random.Random(cfg.seed if seed is None else seed)
+
+        packet_flits = cfg.packet_flits
+        wire = cfg.wire_delay
+        route_delay = cfg.routing_delay
+        warmup = cfg.warmup_cycles
+        window_end = cfg.end_of_window
+        horizon = cfg.horizon
+        per_packet = cfg.path_selection == "per-packet"
+        round_robin = cfg.path_selection == "round-robin"
+        input_fifo = cfg.switch_model == "input-fifo"
+
+        # Sub-channel id for (channel c, virtual channel v): c*V + v.
+        # Buffer ids: 0..n_channels*V-1 = the input buffer of sub-channel
+        # b; then n_channels*V..+n_procs-1 = host injection queues.
+        n_vcs = cfg.virtual_channels
+        n_sub = n_channels * n_vcs
+        n_buffers = n_sub + n_procs
+        buffers = [_Fifo() for _ in range(n_buffers)]
+        read_free = [0] * n_buffers      # buffer read port free time
+        head_pending = [False] * n_buffers  # current head already requested
+
+        busy_until = [0] * n_channels    # physical output port free time
+        credits = [cfg.buffer_packets] * n_sub
+        requests: list[_Fifo] = [_Fifo() for _ in range(n_channels)]
+        rr_state: dict[int, int] = {}
+
+        def free_vc(c: int) -> int:
+            """A sub-channel of ``c`` with a credit, or -1."""
+            base = c * n_vcs
+            for v in range(n_vcs):
+                if credits[base + v] > 0:
+                    return base + v
+            return -1
+
+        heap: list[tuple[int, int, int, object]] = []
+        seq = 0
+
+        def push(time: int, kind: int, payload) -> None:
+            nonlocal seq
+            heappush(heap, (time, seq, kind, payload))
+            seq += 1
+
+        if _trace is None:
+            mean_gap = workload.mean_interarrival(cfg.message_flits)
+            for host in range(n_procs):
+                push(int(rng.expovariate(1.0 / mean_gap)) + 1, _INJECT, host)
+        else:
+            mean_gap = 0.0
+            for entry in _trace:
+                push(entry.cycle, _INJECT, (entry.src, entry.dst))
+
+        # Window statistics.
+        delays: list[int] = []
+        messages_measured = 0
+        messages_completed = 0
+        flits_created = 0
+        flits_delivered = 0
+        next_uid = 0
+        events = 0
+        now = 0
+
+        def transmit(pkt: Packet, c: int, sub: int, t: int) -> None:
+            """Common bookkeeping once ``pkt`` wins output channel ``c``
+            on sub-channel (VC) ``sub``."""
+            credits[sub] -= 1
+            busy_until[c] = t + packet_flits
+            push(t + packet_flits, _PORT_FREE, c)
+            if pkt.holding >= 0:
+                # Tail leaves the previous input buffer once fully read out.
+                push(t + packet_flits, _CREDIT, pkt.holding)
+            pkt.holding = sub
+            if pkt.hop == len(pkt.path) - 1:
+                push(t + wire + packet_flits, _DELIVER, pkt)
+            else:
+                push(t + wire + route_delay, _HEADER, pkt)
+
+        def request_head(b: int, t: int) -> None:
+            """input-fifo: register the head of buffer ``b`` with its
+            output port once the buffer read port is free."""
+            if head_pending[b] or len(buffers[b]) == 0:
+                return
+            if read_free[b] > t:
+                # Buffer read port still streaming the previous packet out;
+                # retry when it frees (idempotent thanks to head_pending).
+                push(read_free[b], _HEAD_READY, b)
+                return
+            head_pending[b] = True
+            pkt: Packet = buffers[b].peek()
+            c = pkt.path[pkt.hop]
+            requests[c].push(b)
+            serve(c, t)
+
+        def serve_input_fifo(c: int, t: int) -> None:
+            """Transmit the oldest requesting buffer's head on ``c`` if
+            the port is free and a downstream credit (any VC) exists."""
+            if busy_until[c] > t or len(requests[c]) == 0:
+                return
+            sub = free_vc(c)
+            if sub < 0:
+                return
+            b = requests[c].pop()
+            pkt: Packet = buffers[b].pop()
+            head_pending[b] = False
+            read_free[b] = t + packet_flits
+            if len(buffers[b]):
+                push(read_free[b], _HEAD_READY, b)
+            transmit(pkt, c, sub, t)
+
+        def serve_output_queued(c: int, t: int) -> None:
+            """output-queued: any buffered packet bound for ``c`` may go
+            (no head-of-line coupling between different outputs)."""
+            if busy_until[c] > t or len(requests[c]) == 0:
+                return
+            sub = free_vc(c)
+            if sub < 0:
+                return
+            transmit(requests[c].pop(), c, sub, t)
+
+        serve = serve_input_fifo if input_fifo else serve_output_queued
+
+        def enqueue(pkt: Packet, t: int) -> None:
+            """Hand a packet (header) to its next forwarding stage."""
+            if input_fifo:
+                b = pkt.holding if pkt.holding >= 0 else n_sub + pkt.message.src
+                buffers[b].push(pkt)
+                request_head(b, t)
+            else:
+                c = pkt.path[pkt.hop]
+                requests[c].push(pkt)
+                serve(c, t)
+
+        while heap:
+            now, _, kind, payload = heappop(heap)
+            if now > horizon:
+                break
+            events += 1
+
+            if kind == _INJECT:
+                if type(payload) is tuple:  # trace replay: explicit dest
+                    host, dst = payload
+                    reschedule = False
+                else:
+                    host = payload
+                    dst = workload.pick_destination(host, n_procs, rng)
+                    reschedule = True
+                if dst >= 0:
+                    measured = warmup <= now < window_end
+                    msg = Message(next_uid, host, dst, now,
+                                  cfg.packets_per_message, measured)
+                    next_uid += 1
+                    if measured:
+                        messages_measured += 1
+                        flits_created += cfg.message_flits
+                    paths = self.routes[host * n_procs + dst]
+                    if round_robin:
+                        key = host * n_procs + dst
+                        base = rr_state.get(key, 0)
+                        rr_state[key] = (base + cfg.packets_per_message) % len(paths)
+                    elif not per_packet:
+                        path = paths[rng.randrange(len(paths))]
+                    for i in range(cfg.packets_per_message):
+                        if per_packet:
+                            path = paths[rng.randrange(len(paths))]
+                        elif round_robin:
+                            path = paths[(base + i) % len(paths)]
+                        enqueue(Packet(msg, path), now)
+                if reschedule:
+                    gap = int(rng.expovariate(1.0 / mean_gap)) + 1
+                    if now + gap < window_end:
+                        push(now + gap, _INJECT, host)
+
+            elif kind == _HEADER:
+                pkt = payload
+                pkt.hop += 1
+                enqueue(pkt, now)
+
+            elif kind == _PORT_FREE:
+                serve(payload, now)
+
+            elif kind == _CREDIT:
+                credits[payload] += 1
+                serve(payload // n_vcs, now)
+
+            elif kind == _HEAD_READY:
+                request_head(payload, now)
+
+            else:  # _DELIVER
+                pkt = payload
+                credits[pkt.holding] += 1  # host drains at link rate
+                serve(pkt.holding // n_vcs, now)
+                msg = pkt.message
+                msg.packets_remaining -= 1
+                if warmup <= now < window_end:
+                    flits_delivered += packet_flits
+                if msg.packets_remaining == 0:
+                    msg.delivered_at = now
+                    if msg.measured:
+                        messages_completed += 1
+                        delays.append(msg.delay)
+
+        mean_delay, p95_delay, max_delay = delay_stats(delays)
+        denom = cfg.measure_cycles * n_procs
+        injected = flits_created / denom if denom else 0.0
+        return FlitRunResult(
+            offered_load=workload.load if workload is not None else injected,
+            injected_load=injected,
+            throughput=flits_delivered / denom if denom else 0.0,
+            mean_delay=mean_delay,
+            p95_delay=p95_delay,
+            max_delay=max_delay,
+            messages_measured=messages_measured,
+            messages_completed=messages_completed,
+            sim_cycles=min(now, horizon),
+            events=events,
+        )

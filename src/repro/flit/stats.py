@@ -1,0 +1,78 @@
+"""Statistics collection for flit-level runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FlitRunResult:
+    """Outcome of one flit-level run at a fixed offered load.
+
+    All rates are normalized flits/cycle/node, so 1.0 is full link
+    capacity at every host.
+
+    Attributes
+    ----------
+    offered_load:
+        The workload's target injection rate.
+    injected_load:
+        Rate actually *created* inside the measurement window (equals
+        offered up to Poisson noise; sources are never throttled because
+        injection queues are unbounded).
+    throughput:
+        Rate *delivered* inside the measurement window — the paper's
+        aggregate-throughput metric.  Tracks offered load below
+        saturation and flattens/decays beyond it.
+    mean_delay / p95_delay / max_delay:
+        Message latency statistics (creation to tail delivery) over
+        measured messages that completed; NaN when none did.
+    messages_measured / messages_completed:
+        Window accounting; a completion ratio well below 1 flags
+        operation beyond saturation.
+    sim_cycles:
+        Total simulated cycles including drain.
+    events:
+        Engine events processed (performance diagnostic).
+    """
+
+    offered_load: float
+    injected_load: float
+    throughput: float
+    mean_delay: float
+    p95_delay: float
+    max_delay: float
+    messages_measured: int
+    messages_completed: int
+    sim_cycles: int
+    events: int
+
+    @property
+    def completion_ratio(self) -> float:
+        if self.messages_measured == 0:
+            return 1.0
+        return self.messages_completed / self.messages_measured
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: delivered rate noticeably below
+        offered, or a meaningful share of measured messages never
+        finished draining."""
+        return (self.throughput < 0.92 * self.offered_load
+                or self.completion_ratio < 0.98)
+
+    def summary(self) -> str:
+        return (f"load={self.offered_load:.2f} thr={self.throughput:.3f} "
+                f"delay={self.mean_delay:.1f} "
+                f"done={self.messages_completed}/{self.messages_measured}")
+
+
+def delay_stats(delays: list[int]) -> tuple[float, float, float]:
+    """(mean, p95, max) of a delay list; NaNs when empty."""
+    if not delays:
+        nan = float("nan")
+        return nan, nan, nan
+    arr = np.asarray(delays, dtype=np.float64)
+    return float(arr.mean()), float(np.percentile(arr, 95)), float(arr.max())

@@ -1,0 +1,83 @@
+"""Vectorized per-link load accumulation.
+
+For every SD pair and every path the routing scheme assigns it, the pair's
+traffic times the path's fraction is added to each directed link on the
+path.  Everything is closed-form arithmetic on path indices (see
+DESIGN.md Section 6), so the whole evaluation is a handful of NumPy
+expressions per tree level — no per-pair Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import RoutingScheme
+from repro.routing.enumeration import PathCodec
+from repro.topology.xgft import XGFT
+from repro.traffic.matrix import TrafficMatrix
+
+
+def _accumulate_group(
+    xgft: XGFT,
+    scheme: RoutingScheme,
+    k: int,
+    s: np.ndarray,
+    d: np.ndarray,
+    amount: np.ndarray,
+    ids_out: list[np.ndarray],
+    weights_out: list[np.ndarray],
+) -> None:
+    """Emit (link id, weight) arrays for pairs whose NCA level is ``k``."""
+    idx = scheme.path_index_matrix(s, d, k)  # (n, P)
+    frac = scheme.fractions(k)  # (P,)
+    weights = (amount[:, None] * frac[None, :]).ravel()
+    codec = PathCodec(xgft, k)
+
+    # Accumulated low digits sum_{j<l} p_j W(j), per (pair, path).
+    low = np.zeros_like(idx)
+    for l in range(k):
+        port = (idx // codec.strides[l]) % xgft.w[l]
+        up_node = low + xgft.W(l) * (s // xgft.M(l))[:, None]
+        up_ids = xgft.up_link_id(l, up_node, port)
+        low = low + port * xgft.W(l)
+        down_parent = low + xgft.W(l + 1) * (d // xgft.M(l + 1))[:, None]
+        child_digit = ((d // xgft.M(l)) % xgft.m[l])[:, None]
+        down_ids = xgft.down_link_id(l, down_parent,
+                                     np.broadcast_to(child_digit, down_parent.shape))
+        ids_out.append(up_ids.ravel())
+        weights_out.append(weights)
+        ids_out.append(down_ids.ravel())
+        weights_out.append(weights)
+
+
+def link_loads(xgft: XGFT, scheme: RoutingScheme, tm: TrafficMatrix) -> np.ndarray:
+    """Directed-link load vector (length ``xgft.n_links``) produced by
+    routing ``tm`` with ``scheme``.
+
+    Self-pairs carry no network traffic and are ignored.  Pairs are
+    grouped by NCA level so each group shares a path codec and a path
+    count, keeping the computation fully vectorized.
+    """
+    if tm.n_procs != xgft.n_procs:
+        raise ValueError(
+            f"traffic matrix is over {tm.n_procs} nodes but topology has "
+            f"{xgft.n_procs}"
+        )
+    s, d, amount = tm.network_pairs()
+    ids_out: list[np.ndarray] = []
+    weights_out: list[np.ndarray] = []
+    if len(s):
+        k_arr = xgft.nca_level(s, d)
+        for k in range(1, xgft.h + 1):
+            mask = k_arr == k
+            if not mask.any():
+                continue
+            _accumulate_group(
+                xgft, scheme, k, s[mask], d[mask], amount[mask],
+                ids_out, weights_out,
+            )
+    if not ids_out:
+        return np.zeros(xgft.n_links)
+    all_ids = np.concatenate(ids_out)
+    all_weights = np.concatenate(weights_out)
+    return np.bincount(all_ids, weights=all_weights, minlength=xgft.n_links)

@@ -1,0 +1,33 @@
+"""InfiniBand-style realization of multi-path routing.
+
+The paper motivates *limited* multi-path routing with InfiniBand's
+resource constraints: each path to a destination needs its own address
+(LID), destinations can expose at most ``2**LMC`` LIDs (LMC <= 7, so at
+most 128 paths), and switches route by destination-LID lookup in linear
+forwarding tables (LFTs).  This package realizes any
+:class:`repro.routing.RoutingScheme` in that model:
+
+* :mod:`repro.ib.lid` — LID assignment under an LMC budget;
+* :mod:`repro.ib.lft` — per-switch linear forwarding tables compiled from
+  the route sets, plus table-driven route tracing (validates that the
+  destination-based realization reproduces the scheme's paths);
+* :mod:`repro.ib.resources` — address-space accounting (the
+  "unlimited multi-path cannot be supported" argument, quantified).
+"""
+
+from repro.ib.lid import LidAssignment, assign_lids, lmc_for_paths, MAX_LMC
+from repro.ib.lft import ForwardingTables, compile_lfts, effective_paths, trace_route
+from repro.ib.resources import ResourceReport, resource_report
+
+__all__ = [
+    "MAX_LMC",
+    "LidAssignment",
+    "assign_lids",
+    "lmc_for_paths",
+    "ForwardingTables",
+    "compile_lfts",
+    "trace_route",
+    "effective_paths",
+    "ResourceReport",
+    "resource_report",
+]

@@ -1,0 +1,104 @@
+"""LID assignment under an LMC budget.
+
+InfiniBand addresses end-ports with 16-bit Local IDentifiers.  A port
+with LID Mask Control value ``lmc`` owns the ``2**lmc`` consecutive LIDs
+``base .. base + 2**lmc - 1``; packets to any of them reach the port, and
+switches may route each LID differently — which is how multiple paths per
+destination are realized (Lin et al.'s multiple-LID scheme, the paper's
+reference [10]).  ``lmc`` is capped at 7, so at most 128 paths per
+destination exist — the reason unlimited multi-path routing "cannot be
+supported on many reasonably sized InfiniBand networks" (e.g. 144 paths
+on the 24-port 3-tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+from repro.topology.xgft import XGFT
+
+#: InfiniBand's LMC field is 3 bits.
+MAX_LMC = 7
+
+#: first unicast LID (0 is reserved, LIDs below this stay unassigned here)
+BASE_LID = 1
+
+#: unicast LID space: 0x0001 .. 0xBFFF (0xC000+ is multicast)
+UNICAST_LIDS = 0xBFFF
+
+
+def lmc_for_paths(k_paths: int) -> int:
+    """Smallest LMC exposing at least ``k_paths`` LIDs per destination.
+
+    Raises :class:`ResourceError` when ``k_paths`` exceeds ``2**MAX_LMC``
+    (the paper's motivating infeasibility).
+    """
+    if k_paths < 1:
+        raise ResourceError(f"need at least one path, got {k_paths}")
+    lmc = (k_paths - 1).bit_length()
+    if lmc > MAX_LMC:
+        raise ResourceError(
+            f"{k_paths} paths per destination need LMC {lmc}, but InfiniBand "
+            f"caps LMC at {MAX_LMC} (max {2**MAX_LMC} paths)"
+        )
+    return lmc
+
+
+@dataclass(frozen=True)
+class LidAssignment:
+    """Consecutive-block LID assignment for every processing node.
+
+    Node ``d`` owns LIDs ``base_lid(d) .. base_lid(d) + 2**lmc - 1``.
+    """
+
+    n_procs: int
+    lmc: int
+
+    @property
+    def lids_per_port(self) -> int:
+        return 1 << self.lmc
+
+    @property
+    def total_lids(self) -> int:
+        return self.n_procs * self.lids_per_port
+
+    def base_lid(self, node: int) -> int:
+        self._check_node(node)
+        return BASE_LID + node * self.lids_per_port
+
+    def lid(self, node: int, offset: int) -> int:
+        """The ``offset``-th LID of ``node`` (offset < 2**lmc)."""
+        if not 0 <= offset < self.lids_per_port:
+            raise ResourceError(
+                f"LID offset {offset} out of range [0, {self.lids_per_port})"
+            )
+        return self.base_lid(node) + offset
+
+    def decode(self, lid: int) -> tuple[int, int]:
+        """Inverse of :meth:`lid`: ``(node, offset)``."""
+        if not BASE_LID <= lid < BASE_LID + self.total_lids:
+            raise ResourceError(f"LID {lid} is unassigned")
+        off = lid - BASE_LID
+        return off >> self.lmc, off & (self.lids_per_port - 1)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_procs:
+            raise ResourceError(f"node {node} out of range [0, {self.n_procs})")
+
+
+def assign_lids(xgft: XGFT, k_paths: int) -> LidAssignment:
+    """LID assignment realizing up to ``k_paths`` paths per destination
+    on ``xgft``.
+
+    Raises :class:`ResourceError` if the LMC cap or the unicast LID space
+    is exceeded.
+    """
+    lmc = lmc_for_paths(k_paths)
+    assignment = LidAssignment(xgft.n_procs, lmc)
+    if assignment.total_lids > UNICAST_LIDS:
+        raise ResourceError(
+            f"{assignment.total_lids} LIDs needed but the unicast space has "
+            f"only {UNICAST_LIDS}"
+        )
+    return assignment

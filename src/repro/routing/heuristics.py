@@ -1,0 +1,135 @@
+"""The paper's limited multi-path heuristics: shift-1, disjoint, random.
+
+All three accept a per-pair path limit ``K``, use ``min(K, X)`` paths with
+uniform fractions, and coincide with UMULTI once ``K >= X = W(k)``.
+shift-1 and disjoint are built on the d-mod-k path (Section 4.2); random
+uses pure randomization and serves as the benchmark heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import LimitedMultipathScheme
+from repro.routing.enumeration import disjoint_order
+from repro.routing.modk import modk_path_index
+from repro.util.hashing import hash_combine, hash_mod, hash_uniform
+
+
+class Shift1(LimitedMultipathScheme):
+    """Shift-1 heuristic (Section 4.2.2).
+
+    Uses the ``K`` consecutive ALLPATHS entries starting at the d-mod-k
+    path: indices ``(t0 + j) mod X`` for ``j < min(K, X)`` — logically
+    ``K`` shifted copies of d-mod-k, each carrying ``1/K`` of the
+    traffic.  Spreads load at the top level only: consecutive indices
+    differ in the lowest-stride digits, so the chosen paths share their
+    lower-level links.
+    """
+
+    name = "shift-1"
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        x = self.xgft.W(k)
+        t0 = modk_path_index(self.xgft, np.asarray(d), k)
+        offsets = np.arange(self.paths_per_pair(k), dtype=np.int64)
+        return (t0[:, None] + offsets[None, :]) % x
+
+
+class Disjoint(LimitedMultipathScheme):
+    """Disjoint heuristic (Section 4.2.3).
+
+    Takes the first ``min(K, X)`` entries of the disjoint ordering
+    ``D_k(t0)`` (see :func:`repro.routing.enumeration.disjoint_order`),
+    which forks paths at the lowest levels first — making the chosen
+    paths maximally link-disjoint while every one of them keeps the
+    d-mod-k structure.  The paper's best heuristic.
+    """
+
+    name = "disjoint"
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        x = self.xgft.W(k)
+        t0 = modk_path_index(self.xgft, np.asarray(d), k)
+        base = np.asarray(disjoint_order(self.xgft, k)[: self.paths_per_pair(k)],
+                          dtype=np.int64)
+        return (t0[:, None] + base[None, :]) % x
+
+
+class RandomMultipath(LimitedMultipathScheme):
+    """Random heuristic (Section 4.2.1).
+
+    Selects ``min(K, X)`` *distinct* paths uniformly at random per SD
+    pair.  The selection is a pure function of ``(seed, s, d)`` via
+    counter-based hashing, so routes are stable across queries — the
+    paper's "average of five random seeds" is realized by constructing
+    five instances with different seeds.
+
+    Implementation: each pair scores all ``X`` path indices with a hash
+    and keeps the ``P`` smallest scores, i.e. a Fisher-Yates-equivalent
+    uniform sample without replacement.
+    """
+
+    name = "random"
+
+    def __init__(self, xgft, k_paths: int, seed: int = 0):
+        super().__init__(xgft, k_paths)
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:
+        return f"RandomMultipath({self.xgft!r}, K={self.k_paths}, seed={self.seed})"
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        s = np.asarray(s, dtype=np.int64)
+        d = np.asarray(d, dtype=np.int64)
+        x = self.xgft.W(k)
+        p = self.paths_per_pair(k)
+        pair_key = hash_combine(np.uint64(self.seed), s * np.int64(self.xgft.n_procs) + d)
+        if p == 1:
+            return hash_mod(x, pair_key)[:, None]
+        scores = hash_uniform(pair_key[:, None], np.arange(x, dtype=np.int64)[None, :])
+        if p == x:
+            order = np.argsort(scores, axis=1)  # full permutation, order irrelevant
+            return order.astype(np.int64)
+        part = np.argpartition(scores, p, axis=1)[:, :p]
+        return np.sort(part, axis=1).astype(np.int64)
+
+
+class RandomSingle(RandomMultipath):
+    """Random single-path routing [Greenberg & Leiserson]: one uniformly
+    random shortest path per SD pair (= random heuristic with K=1)."""
+
+    name = "random-single"
+
+    def __init__(self, xgft, seed: int = 0):
+        super().__init__(xgft, 1, seed=seed)
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+
+class UMulti(LimitedMultipathScheme):
+    """Unlimited multi-path routing (UMULTI, Section 4.1).
+
+    Spreads each pair's traffic uniformly over *all* ``X = W(k)``
+    shortest paths.  Theorem 1: its oblivious performance ratio is 1 —
+    optimal for every traffic matrix.
+    """
+
+    name = "umulti"
+
+    def __init__(self, xgft):
+        super().__init__(xgft, xgft.max_paths)
+
+    def __repr__(self) -> str:
+        return f"UMulti({self.xgft!r})"
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        x = self.xgft.W(k)
+        n = len(np.asarray(s))
+        return np.broadcast_to(np.arange(x, dtype=np.int64), (n, x)).copy()

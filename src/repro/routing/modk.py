@@ -1,0 +1,57 @@
+"""Destination-mod-k and source-mod-k single-path routing.
+
+d-mod-k (Section 3.3): climbing from level ``j`` toward the NCA, take up
+port ``p_j = (d // W(j)) mod w_{j+1}``.  s-mod-k uses the source id
+instead.  Both are universal single-path schemes on XGFTs and d-mod-k is
+the base of the paper's shift-1 and disjoint heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import RoutingScheme
+from repro.routing.enumeration import PathCodec
+from repro.topology.xgft import XGFT
+
+
+def modk_path_index(xgft: XGFT, key, k: int):
+    """ALLPATHS index of the mod-k path for pairs with NCA level ``k``.
+
+    ``key`` is the destination id for d-mod-k or the source id for
+    s-mod-k; vectorized over arrays.  The port at level ``j`` is
+    ``(key // W(j)) mod w_{j+1}`` and the path index weights it by the
+    stride ``R_j = W(k)/W(j+1)``.
+    """
+    codec = PathCodec(xgft, k)
+    key = np.asarray(key)
+    t = np.zeros(key.shape, dtype=np.int64)
+    for j in range(k):
+        port = (key // xgft.W(j)) % xgft.w[j]
+        t += port * codec.strides[j]
+    return t
+
+
+class DModK(RoutingScheme):
+    """Destination-mod-k single-path routing [5, 10, 15 in the paper]."""
+
+    name = "d-mod-k"
+
+    def paths_per_pair(self, k: int) -> int:
+        return 1
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return modk_path_index(self.xgft, np.asarray(d), k)[:, None]
+
+
+class SModK(RoutingScheme):
+    """Source-mod-k single-path routing (performance is known to be
+    nearly identical to d-mod-k; provided as a baseline)."""
+
+    name = "s-mod-k"
+
+    def paths_per_pair(self, k: int) -> int:
+        return 1
+
+    def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return modk_path_index(self.xgft, np.asarray(s), k)[:, None]

@@ -1,0 +1,123 @@
+"""Concrete shortest paths: node and link sequences.
+
+Given a source ``s``, destination ``d`` and path index ``t`` (see
+:mod:`repro.routing.enumeration`), the full path is determined in closed
+form.  Climbing from level ``l`` to ``l+1`` replaces label digit ``l+1``
+with the chosen up port; descending replaces it with the destination's
+digit.  The level-``l`` node on the way up is therefore::
+
+    n_l = sum_{j<l} p_j * W(j)  +  W(l) * (s // M(l))
+
+and on the way down the same expression with ``d`` in place of ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.routing.enumeration import PathCodec
+from repro.topology.xgft import XGFT
+
+
+@dataclass(frozen=True)
+class Path:
+    """One shortest path between two processing nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Processing-node ids.
+    nca_level:
+        Level ``k`` of the pair's nearest common ancestors.
+    index:
+        The path's index ``t`` in the paper's ALLPATHS enumeration.
+    up_ports:
+        The up-port choices ``(p_0, ..., p_{k-1})``.
+    nodes:
+        ``(level, within-level index)`` of every node visited, source
+        first (length ``2k + 1``; just the node itself when src == dst).
+    links:
+        Dense directed link ids traversed (length ``2k``).
+    """
+
+    src: int
+    dst: int
+    nca_level: int
+    index: int
+    up_ports: tuple[int, ...]
+    nodes: tuple[tuple[int, int], ...]
+    links: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    @property
+    def top_switch(self) -> tuple[int, int]:
+        """``(level, index)`` of the highest switch on the path."""
+        return self.nodes[self.nca_level]
+
+    def describe(self, xgft: XGFT) -> str:
+        """Paper-style arrow rendering, e.g. ``0 -> (1, 0, 0) -> ... -> 63``."""
+        parts = []
+        for level, idx in self.nodes:
+            parts.append(str(idx) if level == 0 else xgft.node_label(level, idx))
+        return " -> ".join(parts)
+
+
+def build_path(xgft: XGFT, s: int, d: int, t: int) -> Path:
+    """Materialize path ``t`` between processing nodes ``s`` and ``d``.
+
+    Raises :class:`RoutingError` when ``t`` is outside ``[0, X)`` for the
+    pair's shortest-path count ``X``.
+    """
+    if not 0 <= s < xgft.n_procs or not 0 <= d < xgft.n_procs:
+        raise RoutingError(
+            f"processing nodes must be in [0, {xgft.n_procs}), got {s}, {d}"
+        )
+    k = xgft.nca_level(s, d)
+    codec = PathCodec(xgft, k)
+    ports = codec.index_to_ports(t)  # validates t
+
+    if k == 0:
+        return Path(s, d, 0, 0, (), ((0, s),), ())
+
+    # Accumulated low digits: sum_{j<l} p_j * W(j).
+    low = [0] * (k + 1)
+    for j in range(k):
+        low[j + 1] = low[j] + ports[j] * xgft.W(j)
+
+    up_nodes = [(l, low[l] + xgft.W(l) * (s // xgft.M(l))) for l in range(k + 1)]
+    down_nodes = [(l, low[l] + xgft.W(l) * (d // xgft.M(l))) for l in range(k - 1, -1, -1)]
+    nodes = tuple(up_nodes + down_nodes)
+
+    links = []
+    for l in range(k):
+        links.append(int(xgft.up_link_id(l, up_nodes[l][1], ports[l])))
+    for l in range(k - 1, -1, -1):
+        parent_index = low[l + 1] + xgft.W(l + 1) * (d // xgft.M(l + 1))
+        child_digit = xgft.proc_digit(d, l + 1)
+        links.append(int(xgft.down_link_id(l, parent_index, child_digit)))
+
+    return Path(s, d, k, int(t), ports, nodes, tuple(links))
+
+
+def check_path(xgft: XGFT, path: Path) -> None:
+    """Verify a path hop-by-hop against the topology's adjacency rule.
+
+    Used by tests to cross-check the closed-form construction in
+    :func:`build_path`.  Raises :class:`RoutingError` on any violation.
+    """
+    if path.nodes[0] != (0, path.src) or path.nodes[-1] != (0, path.dst):
+        raise RoutingError("path endpoints do not match src/dst")
+    for (la, ia), (lb, ib) in zip(path.nodes, path.nodes[1:]):
+        if abs(la - lb) != 1:
+            raise RoutingError(f"non-adjacent levels {la} -> {lb}")
+        if not xgft.are_connected(la, ia, lb, ib):
+            raise RoutingError(f"hop ({la},{ia}) -> ({lb},{ib}) is not a link")
+    if len(path.links) != len(path.nodes) - 1:
+        raise RoutingError("link count does not match hop count")
+    for link_id, (src, dst) in zip(path.links, zip(path.nodes, path.nodes[1:])):
+        ref = xgft.link_ref(link_id)
+        if (ref.src_level, ref.src_index) != src or (ref.dst_level, ref.dst_index) != dst:
+            raise RoutingError(f"link id {link_id} does not connect {src} -> {dst}")

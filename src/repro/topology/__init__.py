@@ -1,0 +1,26 @@
+"""Extended generalized fat-tree topology substrate.
+
+The central class is :class:`repro.topology.XGFT`; constructors for the
+common fat-tree variants in the literature (m-port n-trees, k-ary n-trees,
+generalized fat trees) are in :mod:`repro.topology.variants`.
+"""
+
+from repro.topology.xgft import XGFT, LinkKind, LinkRef
+from repro.topology.variants import (
+    gft,
+    k_ary_n_tree,
+    m_port_n_tree,
+    slimmed_xgft,
+)
+from repro.topology.validate import validate_topology
+
+__all__ = [
+    "XGFT",
+    "LinkKind",
+    "LinkRef",
+    "gft",
+    "k_ary_n_tree",
+    "m_port_n_tree",
+    "slimmed_xgft",
+    "validate_topology",
+]

@@ -1,0 +1,63 @@
+"""Topology export helpers (NetworkX graphs, DOT text).
+
+These are conveniences for inspection and for interoperating with graph
+tooling; nothing in the simulators depends on them.
+"""
+
+from __future__ import annotations
+
+from repro.topology.xgft import XGFT, LinkKind
+
+
+def to_networkx(xgft: XGFT, *, directed: bool = True):
+    """Build a NetworkX graph of the topology.
+
+    Nodes are ``("proc", i)`` for processing nodes and ``("sw", l, i)``
+    for switches; edges carry ``link_id``, ``level`` and ``kind``
+    attributes.  Requires the optional ``networkx`` dependency.
+    """
+    import networkx as nx  # imported lazily: optional dependency
+
+    graph = nx.DiGraph() if directed else nx.Graph()
+
+    def _name(level: int, index: int):
+        return ("proc", index) if level == 0 else ("sw", level, index)
+
+    for i in range(xgft.n_procs):
+        graph.add_node(_name(0, i), level=0, label=xgft.node_label(0, i))
+    for l in range(1, xgft.h + 1):
+        for i in range(xgft.level_size(l)):
+            graph.add_node(_name(l, i), level=l, label=xgft.node_label(l, i))
+
+    for link_id, ref in xgft.iter_links():
+        if not directed and ref.kind is LinkKind.DOWN:
+            continue  # one undirected edge per cable
+        graph.add_edge(
+            _name(ref.src_level, ref.src_index),
+            _name(ref.dst_level, ref.dst_index),
+            link_id=link_id,
+            level=ref.level,
+            kind=ref.kind.value,
+        )
+    return graph
+
+
+def to_dot(xgft: XGFT) -> str:
+    """Render the topology as Graphviz DOT text (undirected cables)."""
+    lines = ["graph xgft {", "  rankdir=BT;"]
+    for l in range(xgft.h + 1):
+        names = []
+        for i in range(xgft.level_size(l)):
+            name = f"L{l}_{i}"
+            shape = "circle" if l == 0 else "box"
+            lines.append(f'  {name} [shape={shape}, label="{xgft.node_label(l, i)}"];')
+            names.append(name)
+        lines.append("  { rank=same; " + "; ".join(names) + "; }")
+    for _, ref in xgft.iter_links():
+        if ref.kind is LinkKind.DOWN:
+            continue
+        lines.append(
+            f"  L{ref.src_level}_{ref.src_index} -- L{ref.dst_level}_{ref.dst_index};"
+        )
+    lines.append("}")
+    return "\n".join(lines)

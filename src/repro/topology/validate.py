@@ -1,0 +1,92 @@
+"""Structural validation of XGFT instances.
+
+These checks re-derive the topology's structural invariants from first
+principles (explicit label matching) rather than from the closed-form
+index arithmetic used by :class:`repro.topology.XGFT`, so they guard
+against bugs in that arithmetic.  They are O(nodes * ports) and intended
+for tests and sanity checks on small/medium instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.xgft import XGFT
+
+
+def _labels_adjacent(xgft: XGFT, l: int, lower: tuple[int, ...], upper: tuple[int, ...]) -> bool:
+    """Paper's adjacency rule: tuples match at every digit except l+1."""
+    return all(
+        a == b for i, (a, b) in enumerate(zip(lower, upper), start=1) if i != l + 1
+    )
+
+
+def validate_topology(xgft: XGFT, *, full: bool = True) -> None:
+    """Raise :class:`TopologyError` if the instance violates any XGFT
+    structural invariant.
+
+    Checks performed:
+
+    * level sizes match the closed form ``(prod m_{l+1..h}) * W(l)``;
+    * parent/child closed-form arithmetic agrees with the label-matching
+      adjacency rule (when ``full``);
+    * parent/child relations are mutually consistent;
+    * every directed link id round-trips through :meth:`XGFT.link_ref`;
+    * per-boundary link counts agree from both endpoints' perspectives.
+    """
+    h = xgft.h
+    for l in range(h + 1):
+        expected = 1
+        for i in range(l):
+            expected *= xgft.w[i]
+        for i in range(l, h):
+            expected *= xgft.m[i]
+        if xgft.level_size(l) != expected:
+            raise TopologyError(
+                f"level {l} size {xgft.level_size(l)} != expected {expected}"
+            )
+
+    for l in range(h):
+        up = xgft.level_size(l) * xgft.n_up_ports(l)
+        down = xgft.level_size(l + 1) * xgft.n_down_ports(l + 1)
+        if up != down:
+            raise TopologyError(
+                f"boundary {l}: {up} up-links but {down} down-link endpoints"
+            )
+        if up != xgft.n_boundary_links(l):
+            raise TopologyError(
+                f"boundary {l}: registry says {xgft.n_boundary_links(l)} links, "
+                f"counted {up}"
+            )
+
+    if full:
+        for l in range(h):
+            for idx in range(xgft.level_size(l)):
+                lower_digits = xgft.node_digits(l, idx)
+                for port in range(xgft.n_up_ports(l)):
+                    parent = int(xgft.parent(l, idx, port))
+                    upper_digits = xgft.node_digits(l + 1, parent)
+                    if not _labels_adjacent(xgft, l, lower_digits, upper_digits):
+                        raise TopologyError(
+                            f"parent arithmetic violates label rule at level {l} "
+                            f"node {idx} port {port}"
+                        )
+                    if upper_digits[l] != port:
+                        raise TopologyError(
+                            f"parent digit {upper_digits[l]} != up port {port}"
+                        )
+                    # Mutual consistency: descending through the child's own
+                    # digit must return to the child.
+                    back = int(xgft.child(l + 1, parent, lower_digits[l]))
+                    if back != idx:
+                        raise TopologyError(
+                            f"child(parent({idx})) = {back} != {idx} at level {l}"
+                        )
+
+        for link_id, ref in xgft.iter_links():
+            if ref.kind.value == "up":
+                again = int(xgft.up_link_id(ref.level, ref.src_index, ref.port))
+            else:
+                child_digit = ref.port - xgft.n_up_ports(ref.src_level)
+                again = int(xgft.down_link_id(ref.level, ref.src_index, child_digit))
+            if again != link_id:
+                raise TopologyError(f"link id {link_id} does not round-trip ({again})")

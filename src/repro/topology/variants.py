@@ -1,0 +1,70 @@
+"""Constructors for common fat-tree variants, expressed as XGFTs.
+
+The XGFT family subsumes nearly every fat-tree flavor used in practice
+(the paper's Section 2).  These helpers build the exact XGFT instances the
+literature maps each variant to, so experiments can be specified in either
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.xgft import XGFT
+
+
+def m_port_n_tree(m: int, n: int) -> XGFT:
+    """An ``m``-port ``n``-tree [Lin, Chung, Huang, IPDPS'04].
+
+    Built from ``m``-port switches; has ``2 * (m/2)**n`` processing nodes.
+    Topologically equivalent to
+    ``XGFT(n; m/2, ..., m/2, m; 1, m/2, ..., m/2)`` — the paper's
+    Section 5 uses 8-, 16- and 24-port 2- and 3-trees.
+
+    >>> m_port_n_tree(8, 3)
+    XGFT(3; 4,4,8; 1,4,4)
+    """
+    if m < 2 or m % 2 != 0:
+        raise TopologyError(f"m must be even and >= 2, got {m}")
+    if n < 1:
+        raise TopologyError(f"n must be >= 1, got {n}")
+    half = m // 2
+    ms = (half,) * (n - 1) + (m,)
+    ws = (1,) + (half,) * (n - 1)
+    return XGFT(n, ms, ws)
+
+
+def k_ary_n_tree(k: int, n: int) -> XGFT:
+    """A ``k``-ary ``n``-tree [Petrini & Vanneschi].
+
+    ``k**n`` processing nodes, ``n`` switch levels of radix ``2k``
+    switches; equivalent to ``XGFT(n; k,...,k; 1, k, ..., k)``.
+    """
+    if k < 1 or n < 1:
+        raise TopologyError(f"k and n must be >= 1, got k={k} n={n}")
+    ms = (k,) * n
+    ws = (1,) + (k,) * (n - 1)
+    return XGFT(n, ms, ws)
+
+
+def gft(h: int, m: int, w: int) -> XGFT:
+    """A generalized fat tree ``GFT(h; m; w)`` [Ohring et al.]: constant
+    arities ``m_i = m`` and ``w_i = w`` at every level."""
+    if h < 1:
+        raise TopologyError(f"h must be >= 1, got {h}")
+    return XGFT(h, (m,) * h, (w,) * h)
+
+
+def slimmed_xgft(h: int, m: int, w: int, slimming: int) -> XGFT:
+    """An XGFT whose top level is *slimmed*: the number of top-level
+    parents is reduced by ``slimming`` relative to the full ``w``.
+
+    Slimmed (oversubscribed) fat-trees are a standard cost-reduction;
+    they stress routing heuristics because top-level capacity no longer
+    matches the lower levels.
+    """
+    if not 0 <= slimming < w:
+        raise TopologyError(f"slimming must be in [0, w), got {slimming}")
+    if h < 1:
+        raise TopologyError(f"h must be >= 1, got {h}")
+    ws = (1,) + (w,) * (h - 2) + (w - slimming,) if h >= 2 else (1,)
+    return XGFT(h, (m,) * h, ws)

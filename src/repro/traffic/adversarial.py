@@ -1,0 +1,119 @@
+"""The Theorem 2 adversarial traffic construction.
+
+Theorem 2 exhibits XGFTs and a traffic matrix on which d-mod-k's maximum
+link load is ``prod(m_i, i<h)`` times the optimum: every processing node
+of the first height-``(h-1)`` subtree sends one unit to a destination
+whose id is a multiple of ``W(h)``, so d-mod-k's port choice
+``(d // W(j)) mod w_{j+1}`` is 0 at every level and the whole subtree's
+egress funnels through a single link.  UMULTI spreads the same traffic
+over all ``W(h)`` egress links.
+
+The construction requires enough distinct multiples of ``W(h)`` outside
+the first subtree, i.e. roughly ``m_h >= W(h) + 2``;
+:func:`theorem2_pattern` validates this and
+:func:`suggest_theorem2_topology` builds a topology where the bound is
+tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.topology.xgft import XGFT
+from repro.traffic.matrix import TrafficMatrix
+
+
+def theorem2_pattern(xgft: XGFT) -> TrafficMatrix:
+    """The paper's Theorem 2 traffic matrix for ``xgft``.
+
+    Sources are the ``M(h-1)`` processing nodes of the first height-
+    ``(h-1)`` subtree; source ``j`` sends one unit to ``(A + j) * W(h)``
+    where ``A`` is the smallest integer with ``A * W(h) >= M(h-1)``.
+
+    Raises
+    ------
+    TrafficError
+        If the destinations do not fit in the topology (the theorem is
+        existential: only sufficiently "wide-bottom" XGFTs admit it).
+    """
+    h = xgft.h
+    if h < 1:
+        raise TrafficError("theorem 2 needs at least one switch level")
+    n_src = xgft.M(h - 1)
+    wh = xgft.W(h)
+    a = -(-n_src // wh)  # ceil(M(h-1) / W(h))
+    sources = np.arange(n_src)
+    destinations = (a + sources) * wh
+    if destinations.max() >= xgft.n_procs:
+        raise TrafficError(
+            f"theorem 2 construction infeasible on {xgft!r}: needs destination "
+            f"{int(destinations.max())} but only {xgft.n_procs} processing nodes; "
+            f"use suggest_theorem2_topology() for a feasible instance"
+        )
+    # All destinations are >= A*W(h) >= M(h-1): outside the first subtree,
+    # and they are distinct multiples of W(h) — each in a distinct
+    # height-(h-1) subtree per the theorem's premise when m_h >= W(h)+1.
+    return TrafficMatrix(xgft.n_procs, sources, destinations)
+
+
+def theorem2_bound(xgft: XGFT) -> float:
+    """The guaranteed d-mod-k/optimal load ratio on the Theorem 2 pattern:
+    ``M(h-1) / max(1, M(h-1)/W(h))`` — equal to ``W(h)`` when
+    ``M(h-1) >= W(h)`` (the regime the theorem targets)."""
+    n_src = xgft.M(xgft.h - 1)
+    return n_src / max(1.0, n_src / xgft.W(xgft.h))
+
+
+def adversarial_permutation(xgft: XGFT) -> np.ndarray:
+    """A *permutation* realizing the Theorem 2 hotspot.
+
+    The theorem's traffic matrix is not a permutation (only one subtree
+    sends), but the same mechanism embeds into the paper's permutation
+    traffic model: every processing node of the first height-``(h-1)``
+    subtree sends to a distinct destination that is a multiple of
+    ``W(h)`` outside the subtree — so d-mod-k funnels the whole
+    subtree's egress through one link — and all remaining nodes are
+    matched up arbitrarily (here: a cyclic shift among themselves, which
+    adds at most one unit anywhere).
+
+    Returns the permutation array; raises :class:`TrafficError` when the
+    topology lacks enough multiples of ``W(h)`` (same feasibility regime
+    as :func:`theorem2_pattern`).
+    """
+    h = xgft.h
+    if h < 1:
+        raise TrafficError("adversarial permutation needs a switch level")
+    n = xgft.n_procs
+    n_src = xgft.M(h - 1)
+    wh = xgft.W(h)
+    a = -(-n_src // wh)
+    hot_dests = [(a + j) * wh for j in range(n_src)]
+    if hot_dests and hot_dests[-1] >= n:
+        raise TrafficError(
+            f"adversarial permutation infeasible on {xgft!r}: needs node "
+            f"{hot_dests[-1]} but only {n} exist"
+        )
+    perm = np.full(n, -1, dtype=np.int64)
+    perm[:n_src] = hot_dests
+    rest_sources = np.arange(n_src, n)
+    rest_dests = np.array(sorted(set(range(n)) - set(hot_dests)), dtype=np.int64)
+    # Cyclic shift among the leftovers keeps the permutation property
+    # without concentrating any additional traffic.
+    perm[rest_sources] = np.roll(rest_dests, 1)
+    return perm
+
+
+def suggest_theorem2_topology(h: int = 2, w: int = 4) -> XGFT:
+    """A small XGFT on which :func:`theorem2_pattern` is feasible and the
+    d-mod-k performance ratio is exactly ``prod(w_i) = w**(h-1)``.
+
+    Uses ``m_i = w`` below the top and a top level wide enough
+    (``m_h = w**(h-1) + 2``) to host all the adversarial destinations.
+    """
+    if h < 2:
+        raise TrafficError("need h >= 2 for a non-trivial theorem 2 instance")
+    wh_total = w ** (h - 1)  # prod of w_i with w_1 = 1
+    ms = (w,) * (h - 1) + (wh_total + 2,)
+    ws = (1,) + (w,) * (h - 1)
+    return XGFT(h, ms, ws)

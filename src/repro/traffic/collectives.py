@@ -1,0 +1,74 @@
+"""Collective-communication schedules as traffic-matrix sequences.
+
+HPC applications exercise fat-trees through collectives; the paper's
+reference [17] (Zahavi et al.) optimizes fat-tree routing for *shift
+all-to-all*: the all-to-all exchange executed as ``N-1`` phases, phase
+``r`` being the cyclic-shift permutation ``i -> (i + r) mod N``.  With
+synchronized phases, the collective's completion time is proportional to
+the *sum over phases of the maximum link load*, which makes the schedule
+a natural flow-level benchmark for routing schemes: a single hot phase
+(one bad stride) delays the whole collective.
+
+Also provided: recursive-doubling exchange phases (power-of-two nodes)
+and a helper to score a schedule under a routing scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import TrafficError
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import shift_pattern
+
+
+def shift_all_to_all(n_procs: int, *, amount: float = 1.0) -> Iterator[TrafficMatrix]:
+    """The ``N-1`` cyclic-shift phases of an all-to-all exchange.
+
+    Phase ``r`` (``1 <= r < N``) sends ``amount`` units from every node
+    ``i`` to ``(i + r) mod N``.
+    """
+    if n_procs < 2:
+        raise TrafficError("all-to-all needs at least two nodes")
+    for stride in range(1, n_procs):
+        yield shift_pattern(n_procs, stride, amount=amount)
+
+
+def recursive_doubling(n_procs: int, *, amount: float = 1.0) -> Iterator[TrafficMatrix]:
+    """The ``log2(N)`` pairwise-exchange phases of recursive doubling.
+
+    Phase ``b`` pairs node ``i`` with ``i XOR 2**b`` — the classic
+    allreduce/allgather schedule.  Requires a power-of-two node count.
+    """
+    bits = int(n_procs).bit_length() - 1
+    if n_procs <= 1 or (1 << bits) != n_procs:
+        raise TrafficError(
+            f"recursive doubling needs a power-of-two node count, got {n_procs}"
+        )
+    import numpy as np
+
+    for b in range(bits):
+        src = np.arange(n_procs)
+        yield TrafficMatrix(n_procs, src, src ^ (1 << b),
+                            np.full(n_procs, amount))
+
+
+def schedule_cost(xgft, scheme, phases) -> tuple[float, float]:
+    """Score a phased schedule under a routing scheme.
+
+    Returns ``(total, worst)``: the sum over phases of the maximum link
+    load (proportional to completion time with synchronized phases) and
+    the single worst phase's load.  The optimal total for shift
+    all-to-all on a full-bisection XGFT is ``N - 1`` (every phase load
+    1), achieved by UMULTI.
+    """
+    from repro.flow.loads import link_loads
+    from repro.flow.metrics import max_link_load
+
+    total = 0.0
+    worst = 0.0
+    for tm in phases:
+        mload = max_link_load(link_loads(xgft, scheme, tm))
+        total += mload
+        worst = max(worst, mload)
+    return total, worst

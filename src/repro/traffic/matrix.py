@@ -1,0 +1,177 @@
+"""Sparse traffic matrices.
+
+A traffic matrix ``TM`` assigns an amount ``tm[s, d]`` of traffic to every
+ordered SD pair (Section 3.2).  The evaluated topologies reach 3456
+processing nodes, where a dense N x N matrix is wasteful; traffic is
+stored as coalesced ``(src, dst, amount)`` triples instead, which is also
+the exact form the vectorized flow-level evaluator consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrafficError
+
+
+class TrafficMatrix:
+    """Immutable sparse traffic matrix over ``n_procs`` processing nodes.
+
+    Construction coalesces duplicate pairs (amounts add) and drops
+    explicit zeros.  Self-pairs (``s == d``) are retained — they are part
+    of the paper's permutation model ("possibly itself") — but carry no
+    network traffic and are ignored by the simulators.
+    """
+
+    __slots__ = ("n_procs", "src", "dst", "amount")
+
+    def __init__(self, n_procs: int, src, dst, amount=None):
+        n_procs = int(n_procs)
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if amount is None:
+            amount = np.ones(len(src), dtype=np.float64)
+        else:
+            amount = np.asarray(amount, dtype=np.float64).ravel()
+            if len(amount) == 1 and len(src) > 1:
+                amount = np.full(len(src), amount[0])
+        if not (len(src) == len(dst) == len(amount)):
+            raise TrafficError("src, dst and amount must have equal length")
+        if len(src) and (src.min() < 0 or src.max() >= n_procs
+                         or dst.min() < 0 or dst.max() >= n_procs):
+            raise TrafficError(f"node ids out of range [0, {n_procs})")
+        if np.any(amount < 0):
+            raise TrafficError("traffic amounts must be non-negative")
+
+        # Coalesce duplicates and drop zeros.
+        keys = src * n_procs + dst
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        amount = amount[order]
+        unique_keys, starts = np.unique(keys, return_index=True)
+        sums = np.add.reduceat(amount, starts) if len(keys) else amount
+        keep = sums > 0
+        unique_keys = unique_keys[keep]
+        sums = sums[keep]
+
+        self.n_procs = n_procs
+        self.src = unique_keys // n_procs
+        self.dst = unique_keys % n_procs
+        self.amount = sums
+        self.src.setflags(write=False)
+        self.dst.setflags(write=False)
+        self.amount.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, matrix) -> "TrafficMatrix":
+        """Build from a dense ``(n, n)`` array."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise TrafficError(f"expected a square matrix, got shape {matrix.shape}")
+        src, dst = np.nonzero(matrix)
+        return cls(matrix.shape[0], src, dst, matrix[src, dst])
+
+    @classmethod
+    def from_pairs(cls, n_procs: int, pairs, amount: float = 1.0) -> "TrafficMatrix":
+        """Build from an iterable of ``(src, dst)`` pairs, each carrying
+        ``amount`` units."""
+        pairs = list(pairs)
+        src = [p[0] for p in pairs]
+        dst = [p[1] for p in pairs]
+        return cls(n_procs, src, dst, np.full(len(pairs), amount))
+
+    @classmethod
+    def empty(cls, n_procs: int) -> "TrafficMatrix":
+        return cls(n_procs, [], [], [])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_pairs(self) -> int:
+        """Number of distinct pairs with positive traffic."""
+        return len(self.src)
+
+    @property
+    def total(self) -> float:
+        """Total traffic volume (including self-pairs)."""
+        return float(self.amount.sum())
+
+    def network_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(src, dst, amount)`` triples with ``src != dst`` — the
+        pairs that actually load the network."""
+        mask = self.src != self.dst
+        return self.src[mask], self.dst[mask], self.amount[mask]
+
+    def __getitem__(self, pair: tuple[int, int]) -> float:
+        s, d = pair
+        key = s * self.n_procs + d
+        keys = self.src * self.n_procs + self.dst
+        i = np.searchsorted(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return float(self.amount[i])
+        return 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(n, n)`` array (only for small ``n``)."""
+        out = np.zeros((self.n_procs, self.n_procs))
+        out[self.src, self.dst] = self.amount
+        return out
+
+    def row_sums(self) -> np.ndarray:
+        """Per-source egress volume."""
+        return np.bincount(self.src, weights=self.amount, minlength=self.n_procs)
+
+    def col_sums(self) -> np.ndarray:
+        """Per-destination ingress volume."""
+        return np.bincount(self.dst, weights=self.amount, minlength=self.n_procs)
+
+    def is_permutation(self) -> bool:
+        """True if every node sends to exactly one node with unit traffic
+        and every node receives from exactly one node."""
+        if self.n_pairs != self.n_procs:
+            return False
+        if not np.allclose(self.amount, 1.0):
+            return False
+        return (len(np.unique(self.src)) == self.n_procs
+                and len(np.unique(self.dst)) == self.n_procs)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with all amounts multiplied by ``factor``."""
+        if factor < 0:
+            raise TrafficError("scale factor must be non-negative")
+        return TrafficMatrix(self.n_procs, self.src, self.dst, self.amount * factor)
+
+    def __add__(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        if other.n_procs != self.n_procs:
+            raise TrafficError("cannot add traffic matrices of different sizes")
+        return TrafficMatrix(
+            self.n_procs,
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            np.concatenate([self.amount, other.amount]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TrafficMatrix)
+            and self.n_procs == other.n_procs
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+            and np.allclose(self.amount, other.amount)
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable-free but unhashable by design
+        raise TypeError("TrafficMatrix is not hashable")
+
+    def __repr__(self) -> str:
+        return (f"TrafficMatrix(n_procs={self.n_procs}, pairs={self.n_pairs}, "
+                f"total={self.total:g})")

@@ -1,0 +1,22 @@
+"""Shared utilities: mixed-radix codecs, RNG plumbing, text rendering."""
+
+from repro.util.radix import (
+    MixedRadix,
+    digits_of,
+    from_digits,
+    prefix_products,
+)
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.tables import format_table
+from repro.util.ascii_chart import AsciiChart
+
+__all__ = [
+    "MixedRadix",
+    "digits_of",
+    "from_digits",
+    "prefix_products",
+    "as_generator",
+    "spawn_generators",
+    "format_table",
+    "AsciiChart",
+]

@@ -1,0 +1,95 @@
+"""Terminal line charts.
+
+The paper's figures are line plots (max link load vs K; delay vs offered
+load).  There is no plotting dependency available offline, so experiments
+render series as compact ASCII scatter/line charts.  Precision is not the
+point — the *shape* (ordering of heuristics, crossovers, saturation knees)
+is what the reproduction compares.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+class AsciiChart:
+    """Accumulate named (x, y) series and render them to a text grid.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in character cells (axes add a margin).
+    """
+
+    def __init__(self, width: int = 64, height: int = 18):
+        if width < 8 or height < 4:
+            raise ValueError("chart too small to render")
+        self.width = width
+        self.height = height
+        self._series: dict[str, tuple[list[float], list[float]]] = {}
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add a named series; points with non-finite y are dropped."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        keep_x, keep_y = [], []
+        for x, y in zip(xs, ys):
+            if y == y and y not in (float("inf"), float("-inf")):
+                keep_x.append(float(x))
+                keep_y.append(float(y))
+        self._series[name] = (keep_x, keep_y)
+
+    @property
+    def series(self) -> Mapping[str, tuple[list[float], list[float]]]:
+        return dict(self._series)
+
+    def render(self, *, title: str | None = None, xlabel: str = "", ylabel: str = "") -> str:
+        """Render all series onto one grid with a legend."""
+        pts = [(x, y) for xs, ys in self._series.values() for x, y in zip(xs, ys)]
+        if not pts:
+            return "(empty chart)"
+        xmin = min(p[0] for p in pts)
+        xmax = max(p[0] for p in pts)
+        ymin = min(p[1] for p in pts)
+        ymax = max(p[1] for p in pts)
+        if xmax == xmin:
+            xmax = xmin + 1.0
+        if ymax == ymin:
+            ymax = ymin + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        legend = []
+        for idx, (name, (xs, ys)) in enumerate(self._series.items()):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            legend.append(f"{marker}={name}")
+            for x, y in zip(xs, ys):
+                col = round((x - xmin) / (xmax - xmin) * (self.width - 1))
+                row = round((y - ymin) / (ymax - ymin) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        lines = []
+        if title:
+            lines.append(title)
+        ytop = f"{ymax:.3g}"
+        ybot = f"{ymin:.3g}"
+        margin = max(len(ytop), len(ybot), len(ylabel))
+        for r, row in enumerate(grid):
+            if r == 0:
+                label = ytop
+            elif r == self.height - 1:
+                label = ybot
+            elif r == self.height // 2 and ylabel:
+                label = ylabel
+            else:
+                label = ""
+            lines.append(f"{label.rjust(margin)} |" + "".join(row))
+        lines.append(" " * margin + " +" + "-" * self.width)
+        xleft = f"{xmin:.3g}"
+        xright = f"{xmax:.3g}"
+        pad = self.width - len(xleft) - len(xright)
+        xaxis = xleft + (xlabel.center(pad) if pad > 0 else "") + xright
+        lines.append(" " * margin + "  " + xaxis)
+        lines.append("legend: " + "  ".join(legend))
+        return "\n".join(lines)

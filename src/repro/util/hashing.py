@@ -1,0 +1,57 @@
+"""Deterministic vectorized hashing (splitmix64).
+
+Randomized routing must be a *pure function* of the SD pair: the same pair
+must get the same route set every time it is queried, across scalar and
+vectorized code paths, while still looking uniformly random.  Seeding a
+``numpy`` generator per pair would be slow, so random schemes derive their
+choices from a counter-based splitmix64 hash of ``(seed, s, d, slot)``.
+All operations are NumPy ``uint64`` arithmetic and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x) -> np.ndarray:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function.
+
+    Accepts any integer array (or scalar); returns ``uint64``.
+    """
+    with np.errstate(over="ignore"):
+        z = np.asarray(x, dtype=np.uint64) + _GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _M1
+        z = (z ^ (z >> np.uint64(27))) * _M2
+        return z ^ (z >> np.uint64(31))
+
+
+def hash_combine(*parts) -> np.ndarray:
+    """Combine several integer arrays into one well-mixed uint64 stream.
+
+    Broadcasting applies across parts, so e.g. ``hash_combine(seed,
+    pair_ids[:, None], slots[None, :])`` yields a 2-D key matrix.
+    """
+    acc = np.uint64(0x243F6A8885A308D3)  # pi digits: arbitrary non-zero init
+    with np.errstate(over="ignore"):
+        for part in parts:
+            acc = splitmix64(np.asarray(part, dtype=np.uint64) ^ acc)
+    return acc
+
+
+def hash_uniform(*parts) -> np.ndarray:
+    """Map hashed keys to float64 uniforms in ``[0, 1)``."""
+    bits = hash_combine(*parts)
+    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
+def hash_mod(n, *parts) -> np.ndarray:
+    """Map hashed keys to integers in ``[0, n)``.
+
+    Uses the multiply-shift trick on the top 53 bits; the bias is
+    O(n / 2^53), negligible for the path counts used here.
+    """
+    return np.minimum((hash_uniform(*parts) * n).astype(np.int64), n - 1)

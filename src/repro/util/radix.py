@@ -1,0 +1,132 @@
+"""Mixed-radix integer codecs.
+
+XGFT node labels, path indices and port sequences are all mixed-radix
+numbers.  This module centralizes the encode/decode logic, in both scalar
+and NumPy-vectorized forms, so the rest of the library never re-derives
+radix arithmetic.
+
+Conventions
+-----------
+A *little-endian* digit vector ``(a_0, a_1, ..., a_{n-1})`` over radices
+``(r_0, r_1, ..., r_{n-1})`` encodes the integer::
+
+    value = a_0 + r_0 * (a_1 + r_1 * (a_2 + ...))
+
+i.e. ``a_0`` is the least significant digit.  ``prefix_products(r)`` gives
+the place values ``P`` with ``P[i] = r_0 * ... * r_{i-1}`` (``P[0] = 1``)
+and one extra final entry ``P[n] = prod(r)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def prefix_products(radices: Sequence[int]) -> tuple[int, ...]:
+    """Place values for a little-endian mixed-radix system.
+
+    Returns a tuple of length ``len(radices) + 1`` whose ``i``-th entry is
+    the product of the first ``i`` radices (so entry 0 is 1 and the last
+    entry is the total capacity of the system).
+
+    >>> prefix_products((4, 4, 8))
+    (1, 4, 16, 128)
+    """
+    out = [1]
+    for r in radices:
+        if r <= 0:
+            raise ValueError(f"radices must be positive, got {radices!r}")
+        out.append(out[-1] * r)
+    return tuple(out)
+
+
+def digits_of(value: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Decompose ``value`` into little-endian digits over ``radices``.
+
+    >>> digits_of(63, (4, 4, 4))
+    (3, 3, 3)
+    >>> digits_of(7, (1, 4, 2))   # degenerate radix-1 digit is always 0
+    (0, 3, 1)
+    """
+    digits = []
+    v = int(value)
+    if v < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    for r in radices:
+        digits.append(v % r)
+        v //= r
+    if v != 0:
+        raise ValueError(f"value {value} does not fit in radices {tuple(radices)!r}")
+    return tuple(digits)
+
+
+def from_digits(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Inverse of :func:`digits_of`.
+
+    >>> from_digits((3, 3, 3), (4, 4, 4))
+    63
+    """
+    if len(digits) != len(radices):
+        raise ValueError("digits and radices must have equal length")
+    value = 0
+    for a, r in zip(reversed(digits), reversed(radices)):
+        if not 0 <= a < r:
+            raise ValueError(f"digit {a} out of range for radix {r}")
+        value = value * r + a
+    return value
+
+
+class MixedRadix:
+    """A fixed mixed-radix system with scalar and vectorized codecs.
+
+    Parameters
+    ----------
+    radices:
+        Little-endian digit radices; digit ``i`` takes values in
+        ``[0, radices[i])``.
+    """
+
+    __slots__ = ("radices", "places", "capacity")
+
+    def __init__(self, radices: Sequence[int]):
+        self.radices = tuple(int(r) for r in radices)
+        self.places = prefix_products(self.radices)
+        self.capacity = self.places[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MixedRadix({self.radices!r})"
+
+    def __len__(self) -> int:
+        return len(self.radices)
+
+    def encode(self, digits: Sequence[int]) -> int:
+        """Scalar encode; validates digit ranges."""
+        return from_digits(digits, self.radices)
+
+    def decode(self, value: int) -> tuple[int, ...]:
+        """Scalar decode; validates ``value < capacity``."""
+        return digits_of(value, self.radices)
+
+    def digit(self, value: np.ndarray | int, i: int):
+        """Digit ``i`` of ``value`` (vectorized: accepts arrays)."""
+        return (value // self.places[i]) % self.radices[i]
+
+    def decode_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized decode: shape ``(..., n_digits)`` little-endian."""
+        values = np.asarray(values)
+        out = np.empty(values.shape + (len(self.radices),), dtype=np.int64)
+        for i in range(len(self.radices)):
+            out[..., i] = self.digit(values, i)
+        return out
+
+    def encode_array(self, digits: np.ndarray) -> np.ndarray:
+        """Vectorized encode of a ``(..., n_digits)`` digit array."""
+        digits = np.asarray(digits)
+        if digits.shape[-1] != len(self.radices):
+            raise ValueError("last axis must match number of radices")
+        value = np.zeros(digits.shape[:-1], dtype=np.int64)
+        for i, place in enumerate(self.places[:-1]):
+            value += digits[..., i] * place
+        return value

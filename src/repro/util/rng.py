@@ -1,0 +1,37 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an ``int``, or a ``numpy.random.Generator``; these helpers
+normalize it.  Experiments spawn independent child generators so that
+parallel or repeated sub-runs are reproducible and uncorrelated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state);
+    anything else is fed to ``numpy.random.default_rng``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so results are stable
+    for a fixed ``seed`` regardless of how many children are consumed.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence from the generator's own bit stream.
+        seed = int(seed.integers(0, 2**63 - 1))
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,56 @@
+"""Confidence-interval machinery tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ci import ConfidenceInterval, confidence_interval, z_value
+
+
+class TestZValue:
+    def test_tabulated_levels(self):
+        assert z_value(0.99) == pytest.approx(2.5758293, abs=1e-6)
+        assert z_value(0.95) == pytest.approx(1.9599640, abs=1e-6)
+
+    def test_scipy_fallback(self):
+        # 0.98 is not tabulated; must agree with the normal quantile.
+        assert z_value(0.98) == pytest.approx(2.3263479, abs=1e-6)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                z_value(bad)
+
+
+class TestConfidenceInterval:
+    def test_known_case(self):
+        samples = [10.0, 12.0, 8.0, 10.0]
+        ci = confidence_interval(samples, 0.99)
+        assert ci.mean == pytest.approx(10.0)
+        expected_half = 2.5758293 * np.std(samples, ddof=1) / 2.0
+        assert ci.half_width == pytest.approx(expected_half)
+        assert ci.n_samples == 4
+
+    def test_empty_and_single(self):
+        assert math.isinf(confidence_interval([]).half_width)
+        one = confidence_interval([5.0])
+        assert one.mean == 5.0 and math.isinf(one.half_width)
+
+    def test_meets_paper_rule(self):
+        # Identical samples: zero width meets any positive precision.
+        ci = confidence_interval([3.0] * 10)
+        assert ci.meets(0.01)
+        assert not confidence_interval([1.0, 100.0]).meets(0.01)
+
+    def test_relative_half_width_zero_mean(self):
+        ci = ConfidenceInterval(0.0, 0.0, 0.99, 5)
+        assert ci.relative_half_width == 0.0
+        ci2 = ConfidenceInterval(0.0, 1.0, 0.99, 5)
+        assert math.isinf(ci2.relative_half_width)
+
+    def test_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = confidence_interval(rng.normal(10, 1, 20))
+        large = confidence_interval(rng.normal(10, 1, 2000))
+        assert large.half_width < small.half_width

@@ -1,0 +1,66 @@
+"""Exact oblivious ratios (LP): Theorem 1 as an equality over all TMs."""
+
+import pytest
+
+from repro.analysis.exact_ratio import exact_oblivious_ratio
+from repro.errors import ReproError
+from repro.flow.metrics import optimal_load, performance_ratio
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return XGFT(2, (2, 4), (1, 2))  # 8 nodes, 56 pairs
+
+
+class TestExactRatio:
+    def test_umulti_exactly_one(self, tiny):
+        """Theorem 1, exactly: no traffic matrix at all makes UMULTI
+        exceed the optimum."""
+        res = exact_oblivious_ratio(tiny, make_scheme(tiny, "umulti"))
+        assert res.ratio == pytest.approx(1.0, abs=1e-7)
+
+    def test_dmodk_ratio_is_w2(self, tiny):
+        """On this 2-level tree d-mod-k's exact oblivious ratio equals
+        w_2 = 2: the funnel is the worst case, and nothing is worse."""
+        res = exact_oblivious_ratio(tiny, make_scheme(tiny, "d-mod-k"))
+        assert res.ratio == pytest.approx(2.0, abs=1e-7)
+
+    def test_full_k_heuristics_optimal(self, tiny):
+        for spec in ("shift-1:2", "disjoint:2", "random:2"):
+            res = exact_oblivious_ratio(tiny, make_scheme(tiny, spec))
+            assert res.ratio == pytest.approx(1.0, abs=1e-6), spec
+
+    def test_witness_achieves_ratio(self, tiny):
+        scheme = make_scheme(tiny, "d-mod-k")
+        res = exact_oblivious_ratio(tiny, scheme)
+        assert optimal_load(tiny, res.witness) == pytest.approx(1.0, abs=1e-7)
+        assert performance_ratio(tiny, scheme, res.witness) == pytest.approx(
+            res.ratio, abs=1e-6
+        )
+
+    def test_exact_dominates_empirical(self, tiny):
+        """The LP ratio upper-bounds any empirical witness."""
+        from repro.analysis.ratio import empirical_oblivious_ratio
+
+        scheme = make_scheme(tiny, "d-mod-k")
+        exact = exact_oblivious_ratio(tiny, scheme).ratio
+        emp = empirical_oblivious_ratio(tiny, scheme,
+                                        permutation_samples=20, seed=0).ratio
+        assert exact >= emp - 1e-9
+
+    def test_monotone_in_k(self):
+        """More paths never increase the exact worst case."""
+        xgft = m_port_n_tree(4, 2)
+        ratios = [
+            exact_oblivious_ratio(xgft, make_scheme(xgft, f"disjoint:{k}")).ratio
+            for k in (1, 2)
+        ]
+        assert ratios[1] <= ratios[0] + 1e-9
+
+    def test_size_guard(self):
+        big = m_port_n_tree(8, 3)
+        with pytest.raises(ReproError):
+            exact_oblivious_ratio(big, make_scheme(big, "d-mod-k"))

@@ -1,0 +1,57 @@
+"""Theorem validators: the paper's analytical claims, executed."""
+
+import pytest
+
+from repro.analysis.theorems import check_lemma1, check_theorem1, check_theorem2
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.adversarial import suggest_theorem2_topology
+from repro.traffic.permutations import permutation_matrix, random_permutation
+from repro.traffic.synthetic import all_to_all, bit_complement
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("spec", ["d-mod-k", "s-mod-k", "shift-1:2",
+                                      "disjoint:3", "random:2", "umulti"])
+    def test_no_scheme_beats_the_bound(self, tree8x2, spec):
+        scheme = make_scheme(tree8x2, spec)
+        for seed in range(3):
+            tm = permutation_matrix(random_permutation(32, seed))
+            report = check_lemma1(tree8x2, scheme, tm)
+            assert report.holds, str(report)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("make_tm", [
+        lambda n: all_to_all(n),
+        lambda n: bit_complement(n),
+        lambda n: permutation_matrix(random_permutation(n, 9)),
+    ])
+    def test_umulti_exactly_optimal(self, tree8x2, make_tm):
+        report = check_theorem1(tree8x2, make_tm(tree8x2.n_procs))
+        assert report.holds, str(report)
+
+    def test_holds_on_3level(self, tree8x3):
+        tm = permutation_matrix(random_permutation(128, 3))
+        assert check_theorem1(tree8x3, tm).holds
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("h,w", [(2, 2), (2, 4), (3, 2), (3, 3)])
+    def test_ratio_reaches_prod_w(self, h, w):
+        report = check_theorem2(suggest_theorem2_topology(h, w))
+        assert report.holds, str(report)
+        assert report.measured == pytest.approx(w ** (h - 1))
+
+    def test_report_rendering(self):
+        report = check_theorem2(suggest_theorem2_topology(2, 4))
+        text = str(report)
+        assert "OK" in text and "Theorem 2" in text
+
+
+class TestReportFormat:
+    def test_failure_renders_fail(self, tree8x2):
+        from repro.analysis.theorems import TheoremReport
+
+        r = TheoremReport("x", False, 1.0, 2.0, "d")
+        assert "FAIL" in str(r)

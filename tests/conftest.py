@@ -1,0 +1,64 @@
+"""Shared fixtures: small topologies and scheme factories.
+
+Tests use small XGFT instances (tens to a few hundred nodes) so the whole
+suite stays fast; the structures exercised are identical to the paper's
+full-size topologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.variants import k_ary_n_tree, m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+@pytest.fixture
+def fig3_xgft() -> XGFT:
+    """The paper's Figure 3 topology: XGFT(3; 4,4,4; 1,4,2), 64 nodes."""
+    return XGFT(3, (4, 4, 4), (1, 4, 2))
+
+
+@pytest.fixture
+def tree8x2() -> XGFT:
+    """8-port 2-tree: XGFT(2; 4,8; 1,4), 32 nodes."""
+    return m_port_n_tree(8, 2)
+
+
+@pytest.fixture
+def tree8x3() -> XGFT:
+    """8-port 3-tree: XGFT(3; 4,4,8; 1,4,4), 128 nodes — the paper's
+    flit-level topology."""
+    return m_port_n_tree(8, 3)
+
+
+@pytest.fixture
+def kary2x2() -> XGFT:
+    """Tiny 2-ary 2-tree (4 nodes) for hand-computable cases."""
+    return k_ary_n_tree(2, 2)
+
+
+@pytest.fixture
+def irregular() -> XGFT:
+    """An asymmetric XGFT exercising distinct m_i / w_i at every level."""
+    return XGFT(3, (3, 2, 4), (1, 2, 3))
+
+
+# A diverse topology pool for parametrized structural tests.
+TOPOLOGY_POOL = [
+    XGFT(1, (4,), (1,)),
+    XGFT(2, (2, 2), (1, 2)),
+    k_ary_n_tree(2, 2),
+    k_ary_n_tree(2, 3),
+    k_ary_n_tree(3, 2),
+    m_port_n_tree(4, 2),
+    m_port_n_tree(4, 3),
+    m_port_n_tree(8, 2),
+    XGFT(3, (4, 4, 4), (1, 4, 2)),
+    XGFT(3, (3, 2, 4), (1, 2, 3)),
+    XGFT(2, (3, 5), (2, 3)),  # w_1 > 1: multiple host uplinks
+]
+
+
+def pool_ids() -> list[str]:
+    return [repr(x) for x in TOPOLOGY_POOL]

@@ -1,0 +1,62 @@
+"""Experiment plumbing: fidelity presets, K grids, scheme families."""
+
+import pytest
+
+from repro.experiments.common import (
+    FAST,
+    FULL,
+    NORMAL,
+    RANDOM_SEEDS,
+    fidelity,
+    heuristic_family,
+    k_grid,
+)
+from repro.topology.variants import m_port_n_tree
+
+
+class TestFidelity:
+    def test_presets_by_name(self):
+        assert fidelity("fast") is FAST
+        assert fidelity("normal") is NORMAL
+        assert fidelity("full") is FULL
+
+    def test_passthrough(self):
+        assert fidelity(FAST) is FAST
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            fidelity("ludicrous")
+
+    def test_full_matches_paper_protocol(self):
+        assert FULL.rel_precision == 0.01  # 1% of the mean
+        assert FULL.initial_samples >= 2
+
+
+class TestKGrid:
+    def test_dense_small(self):
+        assert k_grid(4) == (1, 2, 3, 4)
+
+    def test_sparse_large_ends_at_max(self):
+        grid = k_grid(144)
+        assert grid[0] == 1 and grid[-1] == 144
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_dense_flag(self):
+        assert k_grid(20, dense=True) == tuple(range(1, 21))
+
+    def test_64_includes_power_points(self):
+        grid = k_grid(64)
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            assert k in grid
+
+
+class TestHeuristicFamily:
+    def test_random_expands_seeds(self, tree8x2):
+        fam = heuristic_family(tree8x2, "random", 2)
+        assert len(fam) == len(RANDOM_SEEDS)
+        assert {s.seed for s in fam} == set(RANDOM_SEEDS)
+
+    def test_deterministic_single(self, tree8x2):
+        fam = heuristic_family(tree8x2, "disjoint", 4)
+        assert len(fam) == 1
+        assert fam[0].label == "disjoint(4)"

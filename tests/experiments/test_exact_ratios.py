@@ -1,0 +1,30 @@
+"""Exact-ratio experiment wrapper tests."""
+
+import pytest
+
+from repro.experiments import exact_ratios
+from repro.topology.xgft import XGFT
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exact_ratios.run(topology=XGFT(2, (2, 4), (1, 2)), ks=(2,))
+
+
+class TestExactRatiosExperiment:
+    def test_w2_over_k_law(self, result):
+        by = result.by_label()
+        assert by["d-mod-k"] == pytest.approx(2.0, abs=1e-6)
+        assert by["disjoint(2)"] == pytest.approx(1.0, abs=1e-6)
+        assert by["umulti"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_smodk_included(self, result):
+        assert "s-mod-k" in result.by_label()
+
+    def test_render(self, result):
+        assert "exact PERF" in result.render()
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "exact-ratios" in EXPERIMENTS

@@ -1,0 +1,48 @@
+"""Figure 5 experiment at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.experiments import figure5
+from repro.flit.config import FlitConfig
+from repro.topology.variants import m_port_n_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = FlitConfig(warmup_cycles=300, measure_cycles=1500, drain_cycles=2000)
+    return figure5.run(
+        fidelity_name="fast",
+        topology=m_port_n_tree(4, 2),
+        loads=(0.2, 0.5, 0.8),
+        config=cfg,
+        curves=("d-mod-k", "disjoint:2", "random:1"),
+    )
+
+
+class TestShape:
+    def test_all_curves_present(self, result):
+        assert set(result.sweeps) == {"d-mod-k", "disjoint:2", "random:1"}
+
+    def test_delay_increases_with_load(self, result):
+        for spec, sweep in result.sweeps.items():
+            delays = [d for d in sweep.delays if not math.isnan(d)]
+            assert delays[0] < delays[-1], spec
+
+    def test_rows_match_loads(self, result):
+        rows = result.rows()
+        assert [r[0] for r in rows] == [0.2, 0.5, 0.8]
+        assert all(len(r) == 4 for r in rows)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 5" in text
+        assert "legend:" in text
+
+
+def test_default_curves_match_paper():
+    assert figure5.CURVES == (
+        "d-mod-k", "disjoint:2", "disjoint:8", "shift-1:2", "shift-1:8",
+        "random:1", "random:2", "random:8",
+    )

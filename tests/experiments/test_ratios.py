@@ -1,0 +1,36 @@
+"""Oblivious-ratio experiment tests."""
+
+import pytest
+
+from repro.experiments import ratios
+from repro.traffic.adversarial import suggest_theorem2_topology
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ratios.run(topology=suggest_theorem2_topology(2, 4),
+                      ks=(2,), permutation_samples=15, seed=1)
+
+
+class TestRatios:
+    def test_umulti_bound_is_one(self, result):
+        by_label = {r[0]: r for r in result.rows}
+        assert by_label["umulti"][1] == pytest.approx(1.0)
+
+    def test_dmodk_bound_reaches_prod_w(self, result):
+        by_label = {r[0]: r for r in result.rows}
+        assert by_label["d-mod-k"][1] >= 4.0
+
+    def test_multipath_shrinks_worst_case(self, result):
+        by_label = {r[0]: r for r in result.rows}
+        assert by_label["disjoint(2)"][1] < by_label["d-mod-k"][1]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "PERF lower bound" in text
+        assert "witness" in text
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "ratios" in EXPERIMENTS

@@ -1,0 +1,37 @@
+"""Experiment registry and the theorem/resource experiments."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for name in ("figure4a", "figure4b", "figure4c", "figure4d",
+                     "table1", "figure5", "theorems", "resources"):
+            assert name in EXPERIMENTS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_experiment("figure9")
+
+    def test_descriptions_nonempty(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.description
+
+
+class TestTheoremsExperiment:
+    def test_runs_and_holds(self):
+        result = run_experiment("theorems", samples=2)
+        assert result.all_hold
+        assert "ALL HOLD" in result.render()
+
+
+class TestResourcesExperiment:
+    def test_runs_and_reports_infeasibility(self):
+        result = run_experiment("resources")
+        text = result.render()
+        assert "144" in text
+        assert "NO" in text  # at least one infeasible row
+        assert "distinct paths" in text

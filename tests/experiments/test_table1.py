@@ -1,0 +1,43 @@
+"""Table 1 experiment at reduced scale: shape checks."""
+
+import pytest
+
+from repro.experiments import table1
+from repro.flit.config import FlitConfig
+from repro.topology.variants import m_port_n_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = FlitConfig(warmup_cycles=300, measure_cycles=1200, drain_cycles=1500)
+    return table1.run(
+        fidelity_name="fast",
+        topology=m_port_n_tree(4, 3),
+        loads=(0.5, 0.8),
+        config=cfg,
+        ks=(1, 4),
+        random_seeds=(0,),
+    )
+
+
+class TestShape:
+    def test_rows_cover_ks(self, result):
+        rows = result.rows()
+        assert [r[0] for r in rows] == [1, 4]
+
+    def test_throughputs_in_range(self, result):
+        for rows in result.cells.values():
+            for thr in rows:
+                assert 0.0 < thr <= 1.0
+        assert 0.0 < result.dmodk <= 1.0
+
+    def test_multipath_k4_not_collapsed(self, result):
+        """At K=4 every heuristic should be in the same ballpark as
+        d-mod-k (the fine ordering needs full-fidelity runs)."""
+        for name in table1.HEURISTICS:
+            assert result.cells[name][1] > 0.5 * result.dmodk
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Num-Path" in text
+        assert "disjoint" in text

@@ -1,0 +1,83 @@
+"""Fabric graph model tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.graph import Fabric, fabric_from_xgft
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestFabricConstruction:
+    def test_basic(self):
+        fab = Fabric(2, 1, [(0, 2), (1, 2)])
+        assert fab.n_channels == 4  # two cables, two directions each
+        assert fab.is_host(0) and fab.is_switch(2)
+        assert fab.switch_of(1) == 2
+
+    def test_rejects_uncabled_host(self):
+        with pytest.raises(TopologyError):
+            Fabric(2, 1, [(0, 2)])
+
+    def test_rejects_host_to_host(self):
+        with pytest.raises(TopologyError):
+            Fabric(2, 1, [(0, 1), (0, 2), (1, 2)])
+
+    def test_rejects_self_cable(self):
+        with pytest.raises(TopologyError):
+            Fabric(1, 1, [(1, 1), (0, 1)])
+
+    def test_rejects_duplicate_cable(self):
+        with pytest.raises(TopologyError):
+            Fabric(1, 2, [(0, 1), (1, 2), (2, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Fabric(1, 1, [(0, 5)])
+
+    def test_channel_ids_dense_and_invertible(self):
+        fab = Fabric(2, 2, [(0, 2), (1, 3), (2, 3)])
+        assert sorted(fab.channel_id.values()) == list(range(fab.n_channels))
+        for (a, b), cid in fab.channel_id.items():
+            ch = fab.channels[cid]
+            assert (ch.src, ch.dst) == (a, b)
+
+
+class TestWithoutCable:
+    def test_removes_one_cable(self):
+        fab = Fabric(2, 2, [(0, 2), (1, 2), (2, 3)])
+        smaller = fab.without_cable(2, 3)
+        assert smaller.n_channels == fab.n_channels - 2
+
+    def test_direction_insensitive(self):
+        fab = Fabric(2, 2, [(0, 2), (1, 2), (2, 3)])
+        assert fab.without_cable(3, 2).n_channels == fab.n_channels - 2
+
+    def test_missing_cable_rejected(self):
+        fab = Fabric(2, 1, [(0, 2), (1, 2)])
+        with pytest.raises(TopologyError):
+            fab.without_cable(0, 1)
+
+
+class TestFromXgft:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_counts_match(self, xgft):
+        if xgft.h < 1:
+            return
+        fab = fabric_from_xgft(xgft)
+        assert fab.n_hosts == xgft.n_procs
+        assert fab.n_switches == xgft.n_switches
+        assert fab.n_channels == xgft.n_links
+
+    def test_hosts_connect_to_leaf_switches(self):
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        # Host i's leaf switch is i // m_1 in level-major order.
+        for host in range(xgft.n_procs):
+            assert fab.switch_of(host) == xgft.n_procs + host // xgft.m[0]
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(TopologyError):
+            fabric_from_xgft(XGFT(0, (), ()))

@@ -1,0 +1,63 @@
+"""Fabric ranking and fat-tree validation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.graph import Fabric, fabric_from_xgft
+from repro.fabric.ranking import rank_fabric
+from repro.topology.variants import m_port_n_tree
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestRankFabric:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_ranks_recover_xgft_levels(self, xgft):
+        if xgft.h < 1:
+            return
+        fab = fabric_from_xgft(xgft)
+        st = rank_fabric(fab)
+        assert st.max_rank == xgft.h
+        # Hosts rank 0; switch ranks follow the level-major id layout.
+        offset = xgft.n_procs
+        for level in range(1, xgft.h + 1):
+            for i in range(xgft.level_size(level)):
+                assert st.rank[offset + i] == level
+            offset += xgft.level_size(level)
+
+    def test_up_down_split(self):
+        xgft = m_port_n_tree(8, 2)
+        st = rank_fabric(fabric_from_xgft(xgft))
+        for host in range(xgft.n_procs):
+            assert len(st.up_neighbors[host]) == xgft.w[0]
+            assert st.down_neighbors[host] == ()
+        leaf = xgft.n_procs  # first leaf switch
+        assert len(st.up_neighbors[leaf]) == xgft.w[1]
+        assert len(st.down_neighbors[leaf]) == xgft.m[0]
+
+    def test_is_up_channel(self):
+        fab = Fabric(2, 2, [(0, 2), (1, 2), (2, 3)])
+        st = rank_fabric(fab)
+        assert st.is_up_channel(0, 2)
+        assert not st.is_up_channel(2, 0)
+        assert st.is_up_channel(2, 3)
+
+    def test_rejects_disconnected(self):
+        # Switch 3 floats free.
+        with pytest.raises(TopologyError):
+            rank_fabric(Fabric(2, 2, [(0, 2), (1, 2)]))
+
+    def test_rejects_side_links(self):
+        # Two leaf switches cabled to each other: same-rank link.
+        fab = Fabric(2, 2, [(0, 2), (1, 3), (2, 3)])
+        with pytest.raises(TopologyError):
+            rank_fabric(fab)
+
+    def test_survives_single_link_removal(self):
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        st = rank_fabric(fab)
+        leaf = fab.switch_of(0)
+        degraded = fab.without_cable(leaf, st.up_neighbors[leaf][0])
+        st2 = rank_fabric(degraded)
+        assert st2.max_rank == st.max_rank

@@ -1,0 +1,154 @@
+"""Counter-balanced fabric routing: correctness and balance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.fabric.evaluate import fabric_link_loads, trace
+from repro.fabric.graph import fabric_from_xgft
+from repro.fabric.ranking import rank_fabric
+from repro.fabric.router import NO_ROUTE, route_fabric
+from repro.flow.loads import link_loads
+from repro.flow.metrics import optimal_load
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.permutations import permutation_matrix, random_permutation
+from repro.traffic.synthetic import all_to_all
+
+
+@pytest.fixture(scope="module")
+def fab8x2():
+    return fabric_from_xgft(m_port_n_tree(8, 2))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("offsets", [1, 2, 4])
+    def test_all_pairs_reachable_and_shortest(self, fab8x2, offsets):
+        routes = route_fabric(fab8x2, n_offsets=offsets)
+        assert routes.unreachable_pairs() == []
+        xgft = m_port_n_tree(8, 2)
+        for s in range(0, 32, 3):
+            for d in range(0, 32, 5):
+                if s == d:
+                    continue
+                for o in range(offsets):
+                    nodes = trace(routes, s, d, o)
+                    assert nodes is not None and nodes[-1] == d
+                    # Shortest on intact fat-trees: 2*nca hops via switches.
+                    assert len(nodes) == 2 * xgft.nca_level(s, d) + 1
+
+    def test_offsets_diversify_paths(self, fab8x2):
+        routes = route_fabric(fab8x2, n_offsets=4)
+        tops = {trace(routes, 0, 31, o)[2] for o in range(4)}
+        assert len(tops) == 4  # four distinct spines for a top-level pair
+
+    def test_deterministic(self, fab8x2):
+        a = route_fabric(fab8x2, n_offsets=2)
+        b = route_fabric(fab8x2, n_offsets=2)
+        assert np.array_equal(a.next_hop, b.next_hop)
+
+    def test_rejects_bad_offsets(self, fab8x2):
+        with pytest.raises(RoutingError):
+            route_fabric(fab8x2, n_offsets=0)
+
+
+class TestBalance:
+    def test_matches_closed_form_on_permutations(self):
+        """Counter-balanced graph routing lands in the same balance
+        regime as the closed-form disjoint heuristic (both ~optimal on
+        a 2-level tree with K = w_2)."""
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        routes = route_fabric(fab, n_offsets=4)
+        closed = make_scheme(xgft, "disjoint:4")
+        worse = 0
+        for seed in range(5):
+            tm = permutation_matrix(random_permutation(32, seed))
+            graph_max = fabric_link_loads(routes, tm).max()
+            closed_max = link_loads(xgft, closed, tm).max()
+            if graph_max > closed_max + 0.51:
+                worse += 1
+        assert worse <= 1
+
+    def test_all_to_all_balanced(self):
+        xgft = m_port_n_tree(8, 2)
+        routes = route_fabric(fabric_from_xgft(xgft), n_offsets=4)
+        tm = all_to_all(32)
+        loads = fabric_link_loads(routes, tm)
+        # Optimal is 1.0 (Theorem 1 regime); counters keep us close.
+        assert loads.max() <= 1.3 * optimal_load(xgft, tm)
+
+    def test_single_offset_counts_spread_uplinks(self, fab8x2):
+        """With one offset, the leaf's hosts' destinations spread over
+        all its up-links (round-robin-ish counters)."""
+        routes = route_fabric(fab8x2, n_offsets=1)
+        st = routes.structure
+        leaf = fab8x2.switch_of(0)
+        used = {int(routes.next_hop[leaf, routes.vdest(d)])
+                for d in range(4, 32)}
+        assert used == set(st.up_neighbors[leaf])
+
+
+class TestFaultTolerance:
+    def test_single_uplink_failure_reroutes(self):
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        st = rank_fabric(fab)
+        leaf = fab.switch_of(0)
+        dead_parent = st.up_neighbors[leaf][0]
+        degraded = fab.without_cable(leaf, dead_parent)
+        routes = route_fabric(degraded, n_offsets=2)
+        assert routes.unreachable_pairs() == []
+        for o in range(2):
+            nodes = trace(routes, 0, 31, o)
+            assert nodes[-1] == 31
+            assert dead_parent not in nodes or nodes.index(dead_parent) > 1
+
+    def test_host_isolated_by_cutting_its_only_link(self):
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        leaf = fab.switch_of(0)
+        # Host 0 has a single cable (w_1 = 1): cutting it disconnects the
+        # fabric and ranking must refuse.
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            route_fabric(fab.without_cable(0, leaf))
+
+    def test_spine_failure_loses_capacity_not_connectivity(self):
+        xgft = m_port_n_tree(8, 2)
+        fab = fabric_from_xgft(xgft)
+        st = rank_fabric(fab)
+        leaf = fab.switch_of(0)
+        degraded = fab
+        # Remove two of leaf 0's four up-links.
+        for parent in st.up_neighbors[leaf][:2]:
+            degraded = degraded.without_cable(leaf, parent)
+        routes = route_fabric(degraded, n_offsets=2)
+        assert routes.unreachable_pairs() == []
+
+
+class TestEvaluate:
+    def test_trace_self_pair(self, fab8x2):
+        routes = route_fabric(fab8x2)
+        assert trace(routes, 3, 3) == [3]
+
+    def test_trace_rejects_non_hosts(self, fab8x2):
+        routes = route_fabric(fab8x2)
+        with pytest.raises(RoutingError):
+            trace(routes, 0, 40)
+
+    def test_loads_size_mismatch(self, fab8x2):
+        routes = route_fabric(fab8x2)
+        with pytest.raises(RoutingError):
+            fabric_link_loads(routes, TrafficMatrix.empty(16))
+
+    def test_loads_conservation(self, fab8x2):
+        routes = route_fabric(fab8x2, n_offsets=2)
+        tm = permutation_matrix(random_permutation(32, 1))
+        loads = fabric_link_loads(routes, tm)
+        xgft = m_port_n_tree(8, 2)
+        s, d, a = tm.network_pairs()
+        expected = float(np.sum(a * 2 * xgft.nca_level(s, d)))
+        assert loads.sum() == pytest.approx(expected)

@@ -1,0 +1,43 @@
+"""Test workloads for the flit engine: deterministic injection patterns."""
+
+from __future__ import annotations
+
+import random
+
+from repro.flit.workload import Workload
+
+
+class OneShot(Workload):
+    """Inject exactly one message from ``src`` to ``dst`` at the first
+    injection event; all other hosts (and later events) stay silent."""
+
+    name = "one-shot"
+
+    def __init__(self, src: int, dst: int, load: float = 0.9):
+        # High nominal load => the first injection event fires within a
+        # few cycles; only one message is ever created regardless.
+        super().__init__(load)
+        self.src = src
+        self.dst = dst
+        self._fired = False
+
+    def pick_destination(self, src: int, n_procs: int, rng: random.Random) -> int:
+        if src == self.src and not self._fired:
+            self._fired = True
+            return self.dst
+        return -1
+
+
+class FixedMapping(Workload):
+    """Every host with an entry in ``mapping`` sends Poisson messages to
+    its fixed destination; others stay silent.  Unlike a permutation,
+    many senders may share a destination (for contention tests)."""
+
+    name = "fixed-mapping"
+
+    def __init__(self, load: float, mapping: dict[int, int]):
+        super().__init__(load)
+        self.mapping = dict(mapping)
+
+    def pick_destination(self, src: int, n_procs: int, rng: random.Random) -> int:
+        return self.mapping.get(src, -1)

@@ -1,0 +1,50 @@
+"""FlitConfig validation and derived quantities."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flit.config import FlitConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("packet_flits", 0),
+            ("packets_per_message", 0),
+            ("buffer_packets", 0),
+            ("wire_delay", -1),
+            ("routing_delay", -1),
+            ("warmup_cycles", -1),
+            ("measure_cycles", -1),
+            ("drain_cycles", -1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(SimulationError):
+            FlitConfig(**{field: value})
+
+    def test_rejects_bad_path_selection(self):
+        with pytest.raises(SimulationError):
+            FlitConfig(path_selection="telepathy")
+
+    def test_rejects_bad_switch_model(self):
+        with pytest.raises(SimulationError):
+            FlitConfig(switch_model="magic")
+
+
+class TestDerived:
+    def test_message_flits(self):
+        cfg = FlitConfig(packet_flits=16, packets_per_message=4)
+        assert cfg.message_flits == 64
+
+    def test_windows(self):
+        cfg = FlitConfig(warmup_cycles=100, measure_cycles=200, drain_cycles=300)
+        assert cfg.end_of_window == 300
+        assert cfg.horizon == 600
+
+    def test_scaled_override(self):
+        cfg = FlitConfig().scaled(packet_flits=32)
+        assert cfg.packet_flits == 32
+        with pytest.raises(SimulationError):
+            FlitConfig().scaled(packet_flits=0)

@@ -1,0 +1,119 @@
+"""Flit engine: zero-load latency closed forms and determinism.
+
+Under virtual cut-through with no contention the delivery time of a
+message is exactly::
+
+    delay = (m - 1) * P  +  (L - 1) * (wire + routing)  +  wire  +  P
+
+for m packets of P flits over L channels: packets serialize on the first
+link, headers pipeline with per-hop latency (wire + routing), and the
+tail of the last packet lands one link crossing plus one serialization
+after its final send starts.  These tests pin the engine to that
+arithmetic.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flit.config import FlitConfig
+from repro.flit.engine import FlitSimulator
+from repro.flit.workload import UniformRandom
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+
+from tests.flit.helpers import OneShot
+
+
+def expected_delay(cfg: FlitConfig, n_channels: int) -> int:
+    return (
+        (cfg.packets_per_message - 1) * cfg.packet_flits
+        + (n_channels - 1) * (cfg.wire_delay + cfg.routing_delay)
+        + cfg.wire_delay
+        + cfg.packet_flits
+    )
+
+
+@pytest.mark.parametrize("switch_model", ["output-queued", "input-fifo"])
+@pytest.mark.parametrize("packets", [1, 3])
+class TestZeroLoadLatency:
+    def test_cross_tree_message(self, switch_model, packets):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(
+            packet_flits=8, packets_per_message=packets, buffer_packets=2,
+            warmup_cycles=0, measure_cycles=2000, drain_cycles=2000,
+            switch_model=switch_model,
+        )
+        sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+        src, dst = 0, xgft.n_procs - 1  # NCA at the top: 4 channels
+        res = sim.run(OneShot(src, dst))
+        assert res.messages_measured == 1
+        assert res.messages_completed == 1
+        assert res.mean_delay == expected_delay(cfg, 4)
+
+    def test_same_leaf_message(self, switch_model, packets):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(
+            packet_flits=4, packets_per_message=packets,
+            warmup_cycles=0, measure_cycles=2000, drain_cycles=2000,
+            switch_model=switch_model,
+        )
+        sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+        res = sim.run(OneShot(0, 1))  # NCA level 1: 2 channels
+        assert res.mean_delay == expected_delay(cfg, 2)
+
+
+class TestLatencyKnobs:
+    def test_wire_delay_scales_per_hop(self):
+        xgft = m_port_n_tree(4, 2)
+        delays = []
+        for wire in (1, 3):
+            cfg = FlitConfig(packet_flits=8, packets_per_message=1,
+                             wire_delay=wire, warmup_cycles=0,
+                             measure_cycles=2000, drain_cycles=2000)
+            sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+            delays.append(sim.run(OneShot(0, xgft.n_procs - 1)).mean_delay)
+        # 4 channels: 3 pipelined hops + the final crossing = 4 wire units.
+        assert delays[1] - delays[0] == 2 * 4
+
+    def test_packet_size_dominates_serialization(self):
+        xgft = m_port_n_tree(4, 2)
+        delays = []
+        for pf in (8, 16):
+            cfg = FlitConfig(packet_flits=pf, packets_per_message=2,
+                             warmup_cycles=0, measure_cycles=2000,
+                             drain_cycles=2000)
+            sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+            delays.append(sim.run(OneShot(0, xgft.n_procs - 1)).mean_delay)
+        assert delays[1] - delays[0] == 2 * 8  # (m-1)*dP + dP
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(warmup_cycles=100, measure_cycles=500, drain_cycles=500)
+        sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:2"), cfg)
+        a = sim.run(UniformRandom(0.3), seed=5)
+        b = sim.run(UniformRandom(0.3), seed=5)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(warmup_cycles=100, measure_cycles=500, drain_cycles=500)
+        sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:2"), cfg)
+        a = sim.run(UniformRandom(0.3), seed=5)
+        b = sim.run(UniformRandom(0.3), seed=6)
+        assert a != b
+
+
+class TestConstruction:
+    def test_rejects_foreign_scheme(self):
+        a = m_port_n_tree(4, 2)
+        b = m_port_n_tree(8, 2)
+        with pytest.raises(SimulationError):
+            FlitSimulator(a, make_scheme(b, "d-mod-k"), FlitConfig())
+
+    def test_routes_cover_all_pairs(self):
+        xgft = m_port_n_tree(4, 2)
+        sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), FlitConfig())
+        n = xgft.n_procs
+        assert len(sim.routes) == n * (n - 1)

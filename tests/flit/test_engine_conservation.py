@@ -1,0 +1,68 @@
+"""Flit engine conservation: nothing lost, nothing invented."""
+
+import pytest
+
+from repro.flit.config import FlitConfig
+from repro.flit.engine import FlitSimulator
+from repro.flit.workload import UniformRandom
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+
+
+@pytest.mark.parametrize("switch_model", ["output-queued", "input-fifo"])
+@pytest.mark.parametrize("spec", ["d-mod-k", "disjoint:2", "random:4"])
+def test_low_load_everything_delivered(switch_model, spec):
+    """Below saturation with ample drain time, every measured message
+    completes and delivered rate tracks injected rate."""
+    xgft = m_port_n_tree(4, 2)
+    cfg = FlitConfig(warmup_cycles=200, measure_cycles=2000, drain_cycles=3000,
+                     switch_model=switch_model)
+    sim = FlitSimulator(xgft, make_scheme(xgft, spec), cfg)
+    res = sim.run(UniformRandom(0.2), seed=1)
+    assert res.messages_measured > 0
+    assert res.messages_completed == res.messages_measured
+    assert res.injected_load == pytest.approx(0.2, rel=0.25)
+    # Delivered flits can exceed window-created flits slightly (warmup
+    # stragglers deliver inside the window) but must be close.
+    assert res.throughput == pytest.approx(res.injected_load, rel=0.15)
+
+
+def test_overload_reports_incomplete_messages():
+    """Far beyond saturation with a short drain, some measured messages
+    cannot complete and the result says so instead of hiding it."""
+    xgft = m_port_n_tree(4, 2)
+    cfg = FlitConfig(warmup_cycles=200, measure_cycles=2000, drain_cycles=100)
+    sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+    res = sim.run(UniformRandom(1.0), seed=0)
+    assert res.messages_completed < res.messages_measured
+    assert res.completion_ratio < 1.0
+    assert res.saturated
+
+
+def test_throughput_never_exceeds_capacity():
+    xgft = m_port_n_tree(4, 2)
+    cfg = FlitConfig(warmup_cycles=200, measure_cycles=1500, drain_cycles=1500)
+    sim = FlitSimulator(xgft, make_scheme(xgft, "umulti"), cfg)
+    for load in (0.5, 1.0):
+        res = sim.run(UniformRandom(load), seed=2)
+        assert res.throughput <= 1.0 + 1e-9
+
+
+def test_tiny_buffer_still_conserves():
+    """buffer_packets=1 exercises maximal backpressure; conservation and
+    termination must survive."""
+    xgft = m_port_n_tree(4, 2)
+    cfg = FlitConfig(buffer_packets=1, warmup_cycles=200, measure_cycles=1500,
+                     drain_cycles=4000)
+    sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:2"), cfg)
+    res = sim.run(UniformRandom(0.15), seed=3)
+    assert res.messages_completed == res.messages_measured
+
+
+def test_zero_measured_window_is_safe():
+    xgft = m_port_n_tree(4, 2)
+    cfg = FlitConfig(warmup_cycles=0, measure_cycles=0, drain_cycles=50)
+    sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+    res = sim.run(UniformRandom(0.5), seed=0)
+    assert res.messages_measured == 0
+    assert res.throughput == 0.0

@@ -1,0 +1,48 @@
+"""FlitRunResult semantics."""
+
+import pytest
+
+from repro.flit.stats import FlitRunResult
+
+
+def _result(**overrides):
+    base = dict(
+        offered_load=0.5, injected_load=0.5, throughput=0.5,
+        mean_delay=100.0, p95_delay=150.0, max_delay=200.0,
+        messages_measured=100, messages_completed=100,
+        sim_cycles=10_000, events=50_000,
+    )
+    base.update(overrides)
+    return FlitRunResult(**base)
+
+
+class TestSaturation:
+    def test_healthy_run_not_saturated(self):
+        assert not _result().saturated
+
+    def test_throughput_shortfall_flags(self):
+        assert _result(throughput=0.4).saturated
+
+    def test_incomplete_messages_flag(self):
+        assert _result(messages_completed=90).saturated
+
+    def test_boundary(self):
+        # Exactly 92% delivered of offered: not saturated (>= threshold).
+        assert not _result(throughput=0.5 * 0.92).saturated
+
+
+class TestCompletionRatio:
+    def test_ratio(self):
+        assert _result(messages_completed=80).completion_ratio == 0.8
+
+    def test_zero_measured_is_one(self):
+        r = _result(messages_measured=0, messages_completed=0)
+        assert r.completion_ratio == 1.0
+
+
+class TestSummary:
+    def test_contains_key_numbers(self):
+        text = _result().summary()
+        assert "load=0.50" in text
+        assert "thr=0.500" in text
+        assert "100/100" in text

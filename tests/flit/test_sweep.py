@@ -1,0 +1,98 @@
+"""Load sweeps, saturation detection, run merging."""
+
+import math
+
+import pytest
+
+from repro.flit.config import FlitConfig
+from repro.flit.stats import FlitRunResult, delay_stats
+from repro.flit.sweep import SweepResult, _merge_runs, default_loads, load_sweep
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+
+
+def _mk_run(load, thr, delay, measured=10, completed=10):
+    return FlitRunResult(
+        offered_load=load, injected_load=load, throughput=thr,
+        mean_delay=delay, p95_delay=delay, max_delay=delay,
+        messages_measured=measured, messages_completed=completed,
+        sim_cycles=1000, events=100,
+    )
+
+
+class TestDefaultLoads:
+    def test_spacing(self):
+        assert default_loads(0.25) == (0.25, 0.5, 0.75, 1.0)
+
+    def test_max_load(self):
+        loads = default_loads(0.2, max_load=0.6)
+        assert loads == (0.2, 0.4, 0.6)
+
+
+class TestSweepResult:
+    def test_max_throughput_and_saturation(self):
+        runs = (
+            _mk_run(0.2, 0.2, 50.0),
+            _mk_run(0.4, 0.4, 80.0),
+            _mk_run(0.6, 0.45, 400.0),  # saturated: thr < 0.92 * offered
+        )
+        sweep = SweepResult("x", runs)
+        assert sweep.max_throughput == 0.45
+        assert sweep.saturation_load() == 0.6
+        assert sweep.loads == (0.2, 0.4, 0.6)
+        assert sweep.delays == (50.0, 80.0, 400.0)
+
+    def test_never_saturates_returns_last(self):
+        sweep = SweepResult("x", (_mk_run(0.2, 0.2, 10.0),))
+        assert sweep.saturation_load() == 0.2
+
+    def test_empty(self):
+        assert SweepResult("x", ()).max_throughput == 0.0
+
+
+class TestMergeRuns:
+    def test_single_passthrough(self):
+        run = _mk_run(0.2, 0.2, 50.0)
+        assert _merge_runs([run]) is run
+
+    def test_averages_and_sums(self):
+        merged = _merge_runs([_mk_run(0.2, 0.2, 40.0), _mk_run(0.2, 0.3, 60.0)])
+        assert merged.throughput == pytest.approx(0.25)
+        assert merged.mean_delay == pytest.approx(50.0)
+        assert merged.messages_measured == 20
+
+    def test_nan_delays_dropped(self):
+        merged = _merge_runs([_mk_run(0.2, 0.2, float("nan")),
+                              _mk_run(0.2, 0.2, 60.0)])
+        assert merged.mean_delay == pytest.approx(60.0)
+
+
+class TestLoadSweep:
+    def test_small_sweep_monotone_prefix(self):
+        """Below saturation, throughput tracks offered load."""
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(warmup_cycles=200, measure_cycles=1200,
+                         drain_cycles=1200)
+        sweep = load_sweep(xgft, make_scheme(xgft, "d-mod-k"), cfg,
+                           loads=(0.1, 0.3))
+        assert sweep.scheme_label == "d-mod-k"
+        assert sweep.throughputs[0] == pytest.approx(0.1, rel=0.3)
+        assert sweep.throughputs[1] > sweep.throughputs[0]
+
+    def test_repeats_average(self):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(warmup_cycles=100, measure_cycles=600,
+                         drain_cycles=600)
+        sweep = load_sweep(xgft, make_scheme(xgft, "d-mod-k"), cfg,
+                           loads=(0.2,), repeats=2)
+        assert sweep.runs[0].messages_measured > 0
+
+
+class TestDelayStats:
+    def test_empty(self):
+        mean, p95, mx = delay_stats([])
+        assert math.isnan(mean) and math.isnan(p95) and math.isnan(mx)
+
+    def test_values(self):
+        mean, p95, mx = delay_stats([10, 20, 30])
+        assert mean == 20.0 and mx == 30.0 and 28.0 <= p95 <= 30.0

@@ -1,0 +1,62 @@
+"""Virtual-channel support in the flit engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flit.config import FlitConfig
+from repro.flit.engine import FlitSimulator
+from repro.flit.workload import UniformRandom
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+
+from tests.flit.helpers import OneShot
+
+
+class TestConfig:
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(SimulationError):
+            FlitConfig(virtual_channels=0)
+
+    def test_default_single_vc(self):
+        assert FlitConfig().virtual_channels == 1
+
+
+@pytest.mark.parametrize("switch_model", ["input-fifo", "output-queued"])
+class TestSemantics:
+    def test_zero_load_latency_unchanged(self, switch_model):
+        """Extra VCs must not change uncontended latency."""
+        xgft = m_port_n_tree(4, 2)
+        delays = []
+        for vcs in (1, 4):
+            cfg = FlitConfig(packet_flits=8, packets_per_message=2,
+                             virtual_channels=vcs, warmup_cycles=0,
+                             measure_cycles=2000, drain_cycles=2000,
+                             switch_model=switch_model)
+            sim = FlitSimulator(xgft, make_scheme(xgft, "d-mod-k"), cfg)
+            delays.append(sim.run(OneShot(0, xgft.n_procs - 1)).mean_delay)
+        assert delays[0] == delays[1]
+
+    def test_conservation_with_vcs(self, switch_model):
+        xgft = m_port_n_tree(4, 2)
+        cfg = FlitConfig(virtual_channels=3, buffer_packets=1,
+                         warmup_cycles=200, measure_cycles=1500,
+                         drain_cycles=3000, switch_model=switch_model)
+        sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:2"), cfg)
+        res = sim.run(UniformRandom(0.2), seed=2)
+        assert res.messages_completed == res.messages_measured
+
+
+class TestHoLRelief:
+    def test_vcs_raise_input_fifo_throughput(self):
+        """More VCs must relieve head-of-line blocking in the
+        input-FIFO model (the classic VC result)."""
+        xgft = m_port_n_tree(4, 3)
+        thr = {}
+        for vcs in (1, 4):
+            cfg = FlitConfig(switch_model="input-fifo", buffer_packets=2,
+                             virtual_channels=vcs, warmup_cycles=400,
+                             measure_cycles=2000, drain_cycles=2000)
+            sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:4"), cfg)
+            thr[vcs] = max(sim.run(UniformRandom(load), seed=3).throughput
+                           for load in (0.6, 0.9))
+        assert thr[4] > thr[1] * 1.15

@@ -1,0 +1,64 @@
+"""Load-balance metrics (imbalance, Gini) tests."""
+
+import numpy as np
+import pytest
+
+from repro.flow.loads import link_loads
+from repro.flow.metrics import gini_coefficient, load_imbalance
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.permutations import permutation_matrix, random_permutation
+
+
+class TestLoadImbalance:
+    def test_uniform_loads_zero(self):
+        assert load_imbalance(np.full(10, 3.0)) == 0.0
+
+    def test_empty_and_unused(self):
+        assert load_imbalance(np.array([])) == 0.0
+        assert load_imbalance(np.zeros(5)) == 0.0
+
+    def test_skew_increases(self):
+        even = load_imbalance(np.array([1.0, 1.0, 1.0, 1.0]))
+        skewed = load_imbalance(np.array([4.0, 0.1, 0.1, 0.1]))
+        assert skewed > even
+
+    def test_zeros_excluded(self):
+        # Unused links don't count against balance.
+        assert load_imbalance(np.array([2.0, 2.0, 0.0, 0.0])) == 0.0
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini_coefficient(np.full(8, 2.0)) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        loads = np.zeros(100)
+        loads[0] = 50.0
+        assert gini_coefficient(loads) > 0.95
+
+    def test_empty_or_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+    def test_scale_invariant(self):
+        loads = np.array([1.0, 2.0, 3.0, 4.0])
+        assert gini_coefficient(loads) == pytest.approx(
+            gini_coefficient(loads * 7.5)
+        )
+
+    def test_known_value(self):
+        # Two links, one carries everything: G = 1/2 for n = 2.
+        assert gini_coefficient(np.array([1.0, 0.0])) == pytest.approx(0.5)
+
+
+class TestSchemeBalance:
+    def test_umulti_most_balanced(self):
+        """On a random permutation, UMULTI spreads load at least as
+        evenly as d-mod-k by both measures."""
+        xgft = m_port_n_tree(8, 2)
+        tm = permutation_matrix(random_permutation(32, 4))
+        dmodk = link_loads(xgft, make_scheme(xgft, "d-mod-k"), tm)
+        umulti = link_loads(xgft, make_scheme(xgft, "umulti"), tm)
+        assert gini_coefficient(umulti) <= gini_coefficient(dmodk) + 1e-9
+        assert load_imbalance(umulti) <= load_imbalance(dmodk) + 1e-9

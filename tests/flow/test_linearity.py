@@ -1,0 +1,71 @@
+"""Algebraic properties of the flow-level evaluator.
+
+Link loads are linear in the traffic matrix for a fixed routing; these
+hypothesis tests pin that down (scaling, additivity) — useful both as a
+correctness oracle and as documentation of the model.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.loads import link_loads
+from repro.flow.metrics import ml_lower_bound
+from repro.routing.factory import make_scheme
+from repro.topology.xgft import XGFT
+from repro.traffic.matrix import TrafficMatrix
+
+XGFT_SMALL = XGFT(2, (3, 4), (1, 3))
+
+
+def random_tm(data, n):
+    flows = data.draw(st.integers(1, 15))
+    src = [data.draw(st.integers(0, n - 1)) for _ in range(flows)]
+    dst = [data.draw(st.integers(0, n - 1)) for _ in range(flows)]
+    amt = [data.draw(st.sampled_from([0.25, 1.0, 3.0])) for _ in range(flows)]
+    return TrafficMatrix(n, src, dst, amt)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data(), st.sampled_from(["d-mod-k", "disjoint:2", "umulti"]))
+def test_scaling_linearity(data, spec):
+    scheme = make_scheme(XGFT_SMALL, spec)
+    tm = random_tm(data, XGFT_SMALL.n_procs)
+    factor = data.draw(st.sampled_from([0.5, 2.0, 10.0]))
+    assert np.allclose(
+        link_loads(XGFT_SMALL, scheme, tm.scaled(factor)),
+        factor * link_loads(XGFT_SMALL, scheme, tm),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data(), st.sampled_from(["d-mod-k", "shift-1:3", "random:2"]))
+def test_additivity(data, spec):
+    scheme = make_scheme(XGFT_SMALL, spec, seed=3)
+    a = random_tm(data, XGFT_SMALL.n_procs)
+    b = random_tm(data, XGFT_SMALL.n_procs)
+    assert np.allclose(
+        link_loads(XGFT_SMALL, scheme, a + b),
+        link_loads(XGFT_SMALL, scheme, a) + link_loads(XGFT_SMALL, scheme, b),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_ml_bound_scales(data):
+    tm = random_tm(data, XGFT_SMALL.n_procs)
+    factor = data.draw(st.sampled_from([0.5, 4.0]))
+    assert ml_lower_bound(XGFT_SMALL, tm.scaled(factor)) == (
+        factor * ml_lower_bound(XGFT_SMALL, tm)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_mlload_dominates_bound_for_every_scheme(data):
+    """Lemma 1 as a universal property over random sparse traffic."""
+    tm = random_tm(data, XGFT_SMALL.n_procs)
+    bound = ml_lower_bound(XGFT_SMALL, tm)
+    for spec in ("d-mod-k", "s-mod-k", "shift-1:2", "disjoint:2", "umulti"):
+        loads = link_loads(XGFT_SMALL, make_scheme(XGFT_SMALL, spec), tm)
+        assert loads.max() >= bound - 1e-9 if len(loads) else bound == 0

@@ -1,0 +1,90 @@
+"""Vectorized link-load evaluation: conservation and hand-built cases."""
+
+import numpy as np
+import pytest
+
+from repro.flow.loads import link_loads
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.permutations import permutation_matrix, random_permutation
+
+
+class TestSingleFlow:
+    def test_one_flow_loads_exactly_its_path(self):
+        xgft = m_port_n_tree(8, 2)
+        scheme = make_scheme(xgft, "d-mod-k")
+        tm = TrafficMatrix(32, [0], [31], [2.0])
+        loads = link_loads(xgft, scheme, tm)
+        path = scheme.route(0, 31).paths(xgft)[0]
+        expected = np.zeros(xgft.n_links)
+        expected[list(path.links)] = 2.0
+        assert np.array_equal(loads, expected)
+
+    def test_two_path_split(self):
+        # With w_1 = 1 both paths share the terminal links (load 1.0) and
+        # split over distinct middle links (load 0.5 each): 2 shared + 4
+        # distinct links in total on a 2-level tree.
+        xgft = m_port_n_tree(8, 2)
+        scheme = make_scheme(xgft, "disjoint:2")
+        tm = TrafficMatrix(32, [0], [31], [1.0])
+        loads = link_loads(xgft, scheme, tm)
+        assert loads.max() == pytest.approx(1.0)
+        assert np.count_nonzero(loads) == 6
+        assert np.count_nonzero(loads == 0.5) == 4
+        assert np.count_nonzero(loads == 1.0) == 2
+
+
+class TestConservation:
+    @pytest.mark.parametrize("spec", ["d-mod-k", "shift-1:3", "disjoint:3",
+                                      "random:3", "umulti"])
+    def test_total_load_equals_traffic_times_hops(self, spec):
+        """Sum of link loads == sum over pairs of amount * path length
+        (2 * nca_level), independent of how traffic is split."""
+        xgft = XGFT(3, (3, 2, 4), (1, 2, 3))
+        scheme = make_scheme(xgft, spec, seed=2)
+        tm = permutation_matrix(random_permutation(xgft.n_procs, 3))
+        loads = link_loads(xgft, scheme, tm)
+        s, d, a = tm.network_pairs()
+        expected = float(np.sum(a * 2 * xgft.nca_level(s, d)))
+        assert loads.sum() == pytest.approx(expected)
+
+    def test_up_down_symmetric_total(self):
+        xgft = m_port_n_tree(8, 2)
+        scheme = make_scheme(xgft, "d-mod-k")
+        tm = permutation_matrix(random_permutation(32, 0))
+        loads = link_loads(xgft, scheme, tm)
+        is_up = xgft.link_is_up()
+        assert loads[is_up].sum() == pytest.approx(loads[~is_up].sum())
+
+
+class TestValidation:
+    def test_size_mismatch_rejected(self):
+        xgft = m_port_n_tree(8, 2)
+        with pytest.raises(ValueError):
+            link_loads(xgft, make_scheme(xgft, "d-mod-k"), TrafficMatrix.empty(16))
+
+    def test_empty_traffic_zero_loads(self):
+        xgft = m_port_n_tree(8, 2)
+        loads = link_loads(xgft, make_scheme(xgft, "d-mod-k"),
+                           TrafficMatrix.empty(32))
+        assert loads.shape == (xgft.n_links,)
+        assert not loads.any()
+
+    def test_self_traffic_ignored(self):
+        xgft = m_port_n_tree(8, 2)
+        tm = TrafficMatrix(32, [3], [3], [9.0])
+        assert not link_loads(xgft, make_scheme(xgft, "d-mod-k"), tm).any()
+
+
+class TestUmultiUniformity:
+    def test_umulti_spreads_boundary_traffic_evenly(self):
+        """The Theorem 1 mechanism: for a single cross-tree flow, UMULTI
+        puts exactly amount/W(l+1) on each boundary link level it uses."""
+        xgft = XGFT(2, (2, 4), (1, 2))
+        tm = TrafficMatrix(8, [0], [7], [1.0])
+        loads = link_loads(xgft, make_scheme(xgft, "umulti"), tm)
+        levels = xgft.link_levels()
+        top = loads[(levels == 1) & (loads > 0)]
+        assert np.allclose(top, 0.5)  # two paths, each half

@@ -1,0 +1,98 @@
+"""Adaptive permutation study: stopping rule, reproducibility, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.flow.sampling import PermutationStudy
+from repro.routing.factory import make_scheme
+from repro.routing.heuristics import RandomMultipath, UMulti
+from repro.topology.variants import m_port_n_tree
+
+
+@pytest.fixture
+def study(tree8x2):
+    return PermutationStudy(tree8x2, initial_samples=8, max_samples=64,
+                            rel_precision=0.05, seed=123)
+
+
+class TestRun:
+    def test_umulti_converges_instantly(self, tree8x2, study):
+        # UMULTI's max load is optimal; still a random variable, but with
+        # small spread -> convergence within the cap on this small tree.
+        res = study.run(UMulti(tree8x2))
+        assert res.interval.n_samples <= 64
+        assert res.mean >= 1.0
+
+    def test_sample_doubling_respects_cap(self, tree8x2):
+        # A negative precision target can never be met, forcing the cap.
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=10,
+                                 rel_precision=-1.0, seed=0)
+        res = study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert not res.converged
+        assert res.interval.n_samples == 10
+
+    def test_reproducible_with_seed(self, tree8x2):
+        def go():
+            return PermutationStudy(tree8x2, initial_samples=8, max_samples=16,
+                                    rel_precision=0.5, seed=9).run(
+                make_scheme(tree8x2, "d-mod-k"))
+
+        a, b = go(), go()
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_scheme_ordering_dmodk_worst(self, tree8x2):
+        """On permutations, avg max load: d-mod-k >= disjoint(2) >= umulti."""
+        study = PermutationStudy(tree8x2, initial_samples=32, max_samples=32,
+                                 rel_precision=1.0, seed=3)
+        dmodk = study.run(make_scheme(tree8x2, "d-mod-k")).mean
+        dj2 = study.run(make_scheme(tree8x2, "disjoint:2")).mean
+        um = study.run(make_scheme(tree8x2, "umulti")).mean
+        assert dmodk > dj2 > um
+        assert um == pytest.approx(np.mean(study.run(UMulti(tree8x2)).samples))
+
+    def test_result_label(self, tree8x2, study):
+        assert study.run(make_scheme(tree8x2, "disjoint:2")).scheme_label == \
+            "disjoint(2)"
+
+
+class TestSeedFamily:
+    def test_pools_all_seeds(self, tree8x2):
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=4,
+                                 rel_precision=1.0, seed=1)
+        res = study.run_seed_family(
+            lambda seed: RandomMultipath(tree8x2, 2, seed=seed), seeds=(0, 1, 2)
+        )
+        assert res.interval.n_samples == 12  # 3 seeds x 4 samples
+        assert res.scheme_label == "random(2)"
+
+
+class TestParallel:
+    def test_parallel_matches_statistics(self, tree8x2):
+        """Parallel sampling draws from the same distribution (means
+        agree within the CI) and is reproducible per (seed, n_jobs)."""
+        kwargs = dict(initial_samples=24, max_samples=24, rel_precision=1.0,
+                      seed=7)
+        serial = PermutationStudy(tree8x2, **kwargs).run(
+            make_scheme(tree8x2, "d-mod-k"))
+        par_a = PermutationStudy(tree8x2, n_jobs=2, **kwargs).run(
+            make_scheme(tree8x2, "d-mod-k"))
+        par_b = PermutationStudy(tree8x2, n_jobs=2, **kwargs).run(
+            make_scheme(tree8x2, "d-mod-k"))
+        assert np.array_equal(par_a.samples, par_b.samples)
+        assert abs(par_a.mean - serial.mean) < 3 * serial.interval.half_width \
+            or abs(par_a.mean - serial.mean) < 0.5
+
+    def test_more_jobs_than_samples(self, tree8x2):
+        study = PermutationStudy(tree8x2, initial_samples=2, max_samples=2,
+                                 rel_precision=1.0, seed=1, n_jobs=8)
+        assert study.run(make_scheme(tree8x2, "d-mod-k")).interval.n_samples == 2
+
+
+class TestValidation:
+    def test_bad_parameters(self, tree8x2):
+        with pytest.raises(ValueError):
+            PermutationStudy(tree8x2, initial_samples=1)
+        with pytest.raises(ValueError):
+            PermutationStudy(tree8x2, initial_samples=8, max_samples=4)
+        with pytest.raises(ValueError):
+            PermutationStudy(tree8x2, n_jobs=0)

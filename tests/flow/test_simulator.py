@@ -1,0 +1,62 @@
+"""FlowSimulator facade and FlowResult diagnostics."""
+
+import pytest
+
+from repro.flow.simulator import FlowSimulator
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.adversarial import suggest_theorem2_topology, theorem2_pattern
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.permutations import permutation_matrix, random_permutation
+
+
+class TestEvaluate:
+    def test_fields_consistent(self, tree8x2):
+        sim = FlowSimulator(tree8x2)
+        tm = permutation_matrix(random_permutation(32, 0))
+        res = sim.evaluate(make_scheme(tree8x2, "d-mod-k"), tm)
+        assert res.loads.shape == (tree8x2.n_links,)
+        assert res.max_load == pytest.approx(res.loads.max())
+        assert res.ratio == pytest.approx(res.max_load / res.optimal)
+        assert len(res.per_level_max) == tree8x2.h
+
+    def test_per_level_max_covers_global_max(self, tree8x3):
+        sim = FlowSimulator(tree8x3)
+        tm = permutation_matrix(random_permutation(128, 1))
+        res = sim.evaluate(make_scheme(tree8x3, "shift-1:2"), tm)
+        flat_max = max(max(pair) for pair in res.per_level_max)
+        assert flat_max == pytest.approx(res.max_load)
+
+    def test_bottleneck_level_adversarial(self):
+        # Theorem 2's hotspot is the leaf's up-link (boundary level 1 on
+        # a 2-level tree).
+        xgft = suggest_theorem2_topology(2, 4)
+        sim = FlowSimulator(xgft)
+        res = sim.evaluate(make_scheme(xgft, "d-mod-k"), theorem2_pattern(xgft))
+        assert res.bottleneck_level() == 1
+
+    def test_max_load_shortcut_matches(self, tree8x2):
+        sim = FlowSimulator(tree8x2)
+        tm = permutation_matrix(random_permutation(32, 2))
+        scheme = make_scheme(tree8x2, "disjoint:2")
+        assert sim.max_load(scheme, tm) == pytest.approx(
+            sim.evaluate(scheme, tm).max_load
+        )
+
+    def test_empty_traffic(self, tree8x2):
+        sim = FlowSimulator(tree8x2)
+        res = sim.evaluate(make_scheme(tree8x2, "d-mod-k"),
+                           TrafficMatrix.empty(32))
+        assert res.max_load == 0.0
+        assert res.ratio == 1.0
+
+
+class TestDocExample:
+    def test_module_doctest_example(self):
+        from repro.traffic.synthetic import shift_pattern
+
+        xgft = m_port_n_tree(8, 2)
+        sim = FlowSimulator(xgft)
+        res = sim.evaluate(make_scheme(xgft, "umulti"),
+                           shift_pattern(xgft.n_procs, 16))
+        assert res.ratio == pytest.approx(1.0)

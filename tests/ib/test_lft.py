@@ -1,0 +1,102 @@
+"""Linear forwarding tables: traces, scheme fidelity, path diversity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResourceError, RoutingError
+from repro.ib.lft import compile_lfts, effective_paths, trace_route
+from repro.routing.factory import make_scheme
+from repro.routing.path import build_path
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+@pytest.fixture
+def tables8x2(tree8x2):
+    return compile_lfts(tree8x2, make_scheme(tree8x2, "disjoint:4"))
+
+
+class TestTraces:
+    def test_all_pairs_all_offsets_reach_destination(self, tree8x2, tables8x2):
+        n = tree8x2.n_procs
+        for s in range(0, n, 5):
+            for d in range(n):
+                if s == d:
+                    continue
+                for off in range(tables8x2.lids.lids_per_port):
+                    assert trace_route(tables8x2, s, d, off)[-1] == (0, d)
+
+    def test_trace_length_is_shortest(self, tree8x2, tables8x2):
+        # LFT forwarding stops climbing at the NCA: path length 2k.
+        for s, d in ((0, 1), (0, 31)):
+            k = tree8x2.nca_level(s, d)
+            hops = trace_route(tables8x2, s, d, 0)
+            assert len(hops) == 2 * k + 1
+
+    def test_top_level_trace_matches_scheme_path(self, tree8x3):
+        """For top-level pairs, the LID-realized route must equal the
+        scheme's own path for the corresponding path index."""
+        scheme = make_scheme(tree8x3, "disjoint:8")
+        tables = compile_lfts(tree8x3, scheme)
+        d = 127
+        for off in range(8):
+            t = int(tables.path_index[d, off])
+            expected = build_path(tree8x3, 0, d, t)
+            traced = trace_route(tables, 0, d, off)
+            assert tuple(traced) == expected.nodes
+
+    def test_dmodk_realization_single_path(self, tree8x2):
+        tables = compile_lfts(tree8x2, make_scheme(tree8x2, "d-mod-k"))
+        assert tables.lids.lids_per_port == 1
+        scheme = make_scheme(tree8x2, "d-mod-k")
+        for s, d in ((0, 31), (7, 12), (3, 28)):
+            t = scheme.route(s, d).indices[0]
+            assert tuple(trace_route(tables, s, d, 0)) == \
+                build_path(tree8x2, s, d, t).nodes
+
+
+class TestPortFor:
+    def test_down_port_when_destination_below(self, tree8x2, tables8x2):
+        lid = tables8x2.lids.lid(0, 0)
+        # Leaf switch 0 hosts node 0: must route down on the child port.
+        port = tables8x2.port_for(1, 0, lid)
+        assert port >= tree8x2.n_up_ports(1)
+
+    def test_top_switch_never_routes_up(self, tree8x2, tables8x2):
+        lid = tables8x2.lids.lid(0, 0)
+        port = tables8x2.port_for(tree8x2.h, 0, lid)
+        assert port < tree8x2.n_ports(tree8x2.h)
+
+
+class TestEffectivePaths:
+    def test_disjoint_keeps_diversity_nearby(self, tree8x3):
+        tables = compile_lfts(tree8x3, make_scheme(tree8x3, "disjoint:4"))
+        # (0, 5): NCA level 2, 4 possible paths.
+        assert effective_paths(tables, 0, 5) == 4
+
+    def test_shift1_collapses_nearby(self, tree8x3):
+        tables = compile_lfts(tree8x3, make_scheme(tree8x3, "shift-1:4"))
+        # shift-1's 4 consecutive full-height indices share level-2
+        # digit prefixes: fewer distinct nearby paths.
+        assert effective_paths(tables, 0, 5) < 4
+
+    def test_self_pair(self, tree8x3):
+        tables = compile_lfts(tree8x3, make_scheme(tree8x3, "d-mod-k"))
+        assert effective_paths(tables, 3, 3) == 1
+
+
+class TestCompileErrors:
+    def test_rejects_degenerate_top(self):
+        xgft = XGFT(2, (4, 1), (1, 4))
+        with pytest.raises(ResourceError):
+            compile_lfts(xgft, make_scheme(xgft, "d-mod-k"))
+
+    def test_rejects_infeasible_k(self):
+        xgft = m_port_n_tree(24, 3)
+        with pytest.raises(ResourceError):
+            compile_lfts(xgft, make_scheme(xgft, "disjoint:144"))
+
+    def test_explicit_k_override(self, tree8x2):
+        tables = compile_lfts(tree8x2, make_scheme(tree8x2, "disjoint:4"),
+                              k_paths=2)
+        assert tables.lids.lids_per_port == 2

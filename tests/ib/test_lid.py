@@ -1,0 +1,87 @@
+"""LID assignment and LMC budget tests."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.ib.lid import (
+    BASE_LID,
+    MAX_LMC,
+    UNICAST_LIDS,
+    LidAssignment,
+    assign_lids,
+    lmc_for_paths,
+)
+from repro.topology.variants import m_port_n_tree
+
+
+class TestLmcForPaths:
+    @pytest.mark.parametrize(
+        "k,lmc", [(1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (128, 7)]
+    )
+    def test_values(self, k, lmc):
+        assert lmc_for_paths(k) == lmc
+
+    def test_over_cap_rejected(self):
+        # The paper's Ranger case: 144 paths cannot be realized.
+        with pytest.raises(ResourceError):
+            lmc_for_paths(129)
+        with pytest.raises(ResourceError):
+            lmc_for_paths(144)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ResourceError):
+            lmc_for_paths(0)
+
+
+class TestLidAssignment:
+    def test_consecutive_blocks(self):
+        a = LidAssignment(4, lmc=2)
+        assert a.lids_per_port == 4
+        assert a.base_lid(0) == BASE_LID
+        assert a.base_lid(1) == BASE_LID + 4
+        assert a.lid(2, 3) == BASE_LID + 11
+
+    def test_decode_inverts(self):
+        a = LidAssignment(8, lmc=3)
+        for node in range(8):
+            for off in range(8):
+                assert a.decode(a.lid(node, off)) == (node, off)
+
+    def test_bad_offset(self):
+        a = LidAssignment(4, lmc=1)
+        with pytest.raises(ResourceError):
+            a.lid(0, 2)
+
+    def test_bad_node(self):
+        a = LidAssignment(4, lmc=1)
+        with pytest.raises(ResourceError):
+            a.base_lid(4)
+
+    def test_decode_unassigned(self):
+        a = LidAssignment(4, lmc=0)
+        with pytest.raises(ResourceError):
+            a.decode(0)
+        with pytest.raises(ResourceError):
+            a.decode(BASE_LID + 4)
+
+
+class TestAssignLids:
+    def test_feasible(self):
+        xgft = m_port_n_tree(8, 3)
+        a = assign_lids(xgft, 8)
+        assert a.lmc == 3
+        assert a.total_lids == 128 * 8
+
+    def test_lid_space_exhaustion(self):
+        xgft = m_port_n_tree(24, 3)  # 3456 nodes
+        with pytest.raises(ResourceError):
+            assign_lids(xgft, 16)  # 55296 LIDs > 49151
+
+    def test_lmc_cap(self):
+        xgft = m_port_n_tree(24, 3)
+        with pytest.raises(ResourceError):
+            assign_lids(xgft, xgft.max_paths)  # 144 paths
+
+    def test_constants_sane(self):
+        assert MAX_LMC == 7
+        assert UNICAST_LIDS == 0xBFFF

@@ -1,0 +1,37 @@
+"""Resource accounting tests: the paper's motivation quantified."""
+
+from repro.ib.resources import resource_report
+from repro.topology.variants import m_port_n_tree
+
+
+class TestResourceReport:
+    def test_small_fabric_feasible(self):
+        r = resource_report(m_port_n_tree(8, 3), 8)
+        assert r.feasible
+        assert r.lmc == 3
+        assert r.total_lids == 1024
+        assert 0 < r.lid_space_fraction < 0.05
+
+    def test_ranger_unlimited_infeasible_by_lmc(self):
+        # The paper's motivating example: 144 paths on the 24-port 3-tree.
+        xgft = m_port_n_tree(24, 3)
+        r = resource_report(xgft, xgft.max_paths)
+        assert not r.feasible
+        assert "LMC" in r.limit_reason
+
+    def test_large_fabric_lid_space_binds_first(self):
+        r = resource_report(m_port_n_tree(24, 3), 16)
+        assert not r.feasible
+        assert "LID space" in r.limit_reason
+        assert r.lid_space_fraction > 1.0
+
+    def test_limited_multipath_is_the_fix(self):
+        # K = 8 on Ranger-scale fits: exactly the paper's argument for
+        # limited multi-path routing.
+        r = resource_report(m_port_n_tree(24, 3), 8)
+        assert r.feasible
+
+    def test_row_renders(self):
+        row = resource_report(m_port_n_tree(8, 3), 4).row()
+        assert row[0] == 4
+        assert row[-1] == "yes"

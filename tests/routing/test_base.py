@@ -1,0 +1,62 @@
+"""RouteSet validation and the RoutingScheme scalar/batch contract."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import RouteSet
+from repro.routing.heuristics import Disjoint
+from repro.routing.modk import DModK
+
+
+class TestRouteSet:
+    def test_valid(self):
+        rs = RouteSet(0, 9, 2, (1, 3), (0.5, 0.5))
+        assert rs.num_paths == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(RoutingError):
+            RouteSet(0, 9, 2, (1, 3), (1.0,))
+
+    def test_rejects_bad_fraction_sum(self):
+        with pytest.raises(RoutingError):
+            RouteSet(0, 9, 2, (1, 3), (0.5, 0.6))
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(RoutingError):
+            RouteSet(0, 9, 2, (1, 1), (0.5, 0.5))
+
+    def test_paths_materialization(self, fig3_xgft):
+        rs = Disjoint(fig3_xgft, 2).route(0, 63)
+        paths = rs.paths(fig3_xgft)
+        assert len(paths) == 2
+        assert [p.index for p in paths] == list(rs.indices)
+
+
+class TestRoutingSchemeContract:
+    def test_route_rejects_out_of_range(self, tree8x2):
+        scheme = DModK(tree8x2)
+        with pytest.raises(RoutingError):
+            scheme.route(0, 32)
+        with pytest.raises(RoutingError):
+            scheme.route(-1, 0)
+
+    def test_self_route_is_trivial(self, tree8x2):
+        rs = DModK(tree8x2).route(7, 7)
+        assert rs.nca_level == 0
+        assert rs.indices == (0,)
+
+    def test_all_route_sets_cover_all_pairs(self, kary2x2):
+        table = DModK(kary2x2).all_route_sets()
+        n = kary2x2.n_procs
+        assert len(table) == n * (n - 1)
+        for (s, d), rs in table.items():
+            assert rs.src == s and rs.dst == d
+
+    def test_repr(self, tree8x2):
+        assert "DModK" in repr(DModK(tree8x2))
+        assert "K=3" in repr(Disjoint(tree8x2, 3))
+
+    def test_fractions_uniform(self, tree8x2):
+        f = Disjoint(tree8x2, 4).fractions(2)
+        assert len(f) == 4
+        assert all(abs(x - 0.25) < 1e-12 for x in f)

@@ -1,0 +1,114 @@
+"""Path enumeration codec and the disjoint ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing.enumeration import PathCodec, disjoint_order
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestPathCodec:
+    def test_figure3_strides(self, fig3_xgft):
+        codec = PathCodec(fig3_xgft, 3)
+        assert codec.num_paths == 8
+        # R_j = W(k)/W(j+1): lowest-level choice is most significant.
+        assert codec.strides == (8, 2, 1)
+
+    def test_figure3_dmodk_ports_encode_to_7(self, fig3_xgft):
+        codec = PathCodec(fig3_xgft, 3)
+        assert codec.ports_to_index((0, 3, 1)) == 7
+        assert codec.index_to_ports(7) == (0, 3, 1)
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_roundtrip_all_levels(self, xgft):
+        for k in range(xgft.h + 1):
+            codec = PathCodec(xgft, k)
+            for t in range(codec.num_paths):
+                ports = codec.index_to_ports(t)
+                assert len(ports) == k
+                assert all(0 <= p < xgft.w[j] for j, p in enumerate(ports))
+                assert codec.ports_to_index(ports) == t
+
+    def test_port_array_matches_scalar(self, fig3_xgft):
+        codec = PathCodec(fig3_xgft, 3)
+        ts = np.arange(codec.num_paths)
+        for j in range(3):
+            expected = [codec.index_to_ports(t)[j] for t in ts]
+            assert np.array_equal(codec.port_array(ts, j), expected)
+
+    def test_errors(self, fig3_xgft):
+        codec = PathCodec(fig3_xgft, 3)
+        with pytest.raises(RoutingError):
+            codec.index_to_ports(8)
+        with pytest.raises(RoutingError):
+            codec.index_to_ports(-1)
+        with pytest.raises(RoutingError):
+            codec.ports_to_index((0, 0))  # wrong length
+        with pytest.raises(RoutingError):
+            codec.ports_to_index((0, 4, 0))  # port out of radix
+        with pytest.raises(RoutingError):
+            PathCodec(fig3_xgft, 4)
+        with pytest.raises(RoutingError):
+            codec.port_array(np.arange(2), 3)
+
+
+class TestDisjointOrder:
+    def test_paper_example(self, fig3_xgft):
+        # Section 4.2.3: level-2 disjoint paths from 7 are 7,1,3,5 —
+        # i.e. the base order starts 0,2,4,6.
+        order = disjoint_order(fig3_xgft, 3)
+        assert order == (0, 2, 4, 6, 1, 3, 5, 7)
+        shifted = tuple((7 + o) % 8 for o in order[:4])
+        assert shifted == (7, 1, 3, 5)
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_is_permutation(self, xgft):
+        for k in range(1, xgft.h + 1):
+            order = disjoint_order(xgft, k)
+            assert sorted(order) == list(range(xgft.W(k)))
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_prefix_fork_property(self, xgft):
+        """The first W(j) entries fork below level j: within the prefix,
+        all level-<j digit combinations are distinct."""
+        for k in range(1, xgft.h + 1):
+            codec = PathCodec(xgft, k)
+            order = disjoint_order(xgft, k)
+            for j in range(1, k + 1):
+                prefix = order[: xgft.W(j)]
+                # Digits p_0..p_{j-1} (the fork-determining low levels).
+                keys = {codec.index_to_ports(t)[:j] for t in prefix}
+                assert len(keys) == len(prefix), (
+                    f"prefix W({j})={xgft.W(j)} of disjoint order on {xgft} "
+                    f"repeats a level-{j} fork"
+                )
+
+    def test_two_level_equals_shift(self):
+        """On 2-level trees with w_1 = 1 the paper notes shift-1 and
+        disjoint coincide: the base order is 0,1,2,..."""
+        for m, w in ((4, 4), (8, 8), (12, 12)):
+            x = XGFT(2, (m, 2 * m), (1, w))
+            assert disjoint_order(x, 2) == tuple(range(w))
+
+    def test_cache_returns_same_object(self, fig3_xgft):
+        assert disjoint_order(fig3_xgft, 3) is disjoint_order(fig3_xgft, 3)
+
+    def test_bad_level(self, fig3_xgft):
+        with pytest.raises(RoutingError):
+            disjoint_order(fig3_xgft, 4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(h=st.integers(1, 3), data=st.data())
+def test_disjoint_order_random_topologies(h, data):
+    m = tuple(data.draw(st.integers(1, 3)) for _ in range(h))
+    w = tuple(data.draw(st.integers(1, 4)) for _ in range(h))
+    xgft = XGFT(h, m, w)
+    for k in range(1, h + 1):
+        order = disjoint_order(xgft, k)
+        assert sorted(order) == list(range(xgft.W(k)))

@@ -1,0 +1,67 @@
+"""Scheme factory tests."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.factory import available_schemes, make_scheme
+from repro.routing.heuristics import (
+    Disjoint,
+    RandomMultipath,
+    RandomSingle,
+    Shift1,
+    UMulti,
+)
+from repro.routing.modk import DModK, SModK
+
+
+class TestMakeScheme:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("d-mod-k", DModK),
+            ("dmodk", DModK),
+            ("s-mod-k", SModK),
+            ("random-single", RandomSingle),
+            ("shift-1:4", Shift1),
+            ("shift1:4", Shift1),
+            ("disjoint:2", Disjoint),
+            ("random:8", RandomMultipath),
+            ("umulti", UMulti),
+        ],
+    )
+    def test_spec_dispatch(self, tree8x2, spec, cls):
+        assert isinstance(make_scheme(tree8x2, spec), cls)
+
+    def test_explicit_k_overrides_suffix(self, tree8x2):
+        scheme = make_scheme(tree8x2, "disjoint:8", k_paths=2)
+        assert scheme.k_paths == 2
+
+    def test_case_insensitive(self, tree8x2):
+        assert isinstance(make_scheme(tree8x2, "Disjoint:2"), Disjoint)
+
+    def test_seed_forwarded(self, tree8x2):
+        a = make_scheme(tree8x2, "random:4", seed=1)
+        b = make_scheme(tree8x2, "random:4", seed=2)
+        assert a.seed == 1 and b.seed == 2
+
+    def test_unknown_scheme(self, tree8x2):
+        with pytest.raises(RoutingError):
+            make_scheme(tree8x2, "bogus")
+
+    def test_missing_k(self, tree8x2):
+        with pytest.raises(RoutingError):
+            make_scheme(tree8x2, "disjoint")
+
+    def test_unexpected_k(self, tree8x2):
+        with pytest.raises(RoutingError):
+            make_scheme(tree8x2, "d-mod-k:4")
+
+    def test_malformed_k(self, tree8x2):
+        with pytest.raises(RoutingError):
+            make_scheme(tree8x2, "disjoint:x")
+
+    def test_available_schemes_all_constructible(self, tree8x2):
+        for name in available_schemes():
+            spec = f"{name}:2" if name in ("shift-1", "disjoint", "random") else name
+            scheme = make_scheme(tree8x2, spec)
+            assert scheme.route(0, 31).num_paths >= 1

@@ -1,0 +1,78 @@
+"""d-mod-k / s-mod-k tests: paper values, digit formula, pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.routing.modk import DModK, SModK, modk_path_index
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+class TestDModKIndex:
+    def test_paper_example_path7(self, fig3_xgft):
+        # Section 4.2: d-mod-k for SD pair (0, 63) is Path 7.
+        t = modk_path_index(fig3_xgft, np.array([63]), 3)
+        assert t[0] == 7
+
+    def test_digit_formula(self):
+        # p_j = (d // W(j)) mod w_{j+1}; check a value where the naive
+        # "d mod w" reading would differ.
+        x = XGFT(3, (4, 4, 8), (1, 4, 4))  # W = (1, 1, 4)
+        d = 7  # p_1 = 7 mod 4 = 3; p_2 = (7 // 4) mod 4 = 1
+        t = int(modk_path_index(x, np.array([d]), 3)[0])
+        # strides: R_0 = 16, R_1 = 4, R_2 = 1
+        assert t == 3 * 4 + 1 * 1
+
+    def test_multiples_of_prod_w_map_to_path0(self):
+        # The Theorem 2 mechanism: destinations that are multiples of
+        # prod(w) always use Path 0 (port 0 at every level).
+        x = m_port_n_tree(8, 3)
+        wh = x.max_paths
+        d = np.arange(0, x.n_procs, wh)
+        assert np.all(modk_path_index(x, d, 3) == 0)
+
+    def test_destination_determines_index(self):
+        x = m_port_n_tree(8, 3)
+        scheme = DModK(x)
+        # Same destination from any source (same NCA level) -> same path.
+        s = np.array([16, 32, 48])
+        d = np.array([0, 0, 0])
+        idx = scheme.path_index_matrix(s, d, 3)
+        assert np.all(idx == idx[0, 0])
+
+    def test_down_paths_private_on_mport_trees(self):
+        """Digit d-mod-k assigns distinct top-level switches to the
+        destinations of one leaf switch — each destination owns its down
+        path (the structural fact behind the flit-model calibration in
+        DESIGN.md)."""
+        x = m_port_n_tree(8, 3)
+        for leaf in range(0, x.n_procs, x.m[0]):
+            dests = np.arange(leaf, leaf + x.m[0])
+            idx = modk_path_index(x, dests, 3)
+            assert len(np.unique(idx)) == len(dests)
+
+
+class TestSchemes:
+    def test_single_path(self, tree8x3):
+        for scheme in (DModK(tree8x3), SModK(tree8x3)):
+            assert scheme.paths_per_pair(2) == 1
+            rs = scheme.route(0, 127)
+            assert rs.num_paths == 1
+            assert rs.fractions == (1.0,)
+
+    def test_smodk_uses_source(self, tree8x3):
+        scheme = SModK(tree8x3)
+        s = np.array([1, 2, 3])
+        d = np.array([127, 127, 127])
+        idx = scheme.path_index_matrix(s, d, 3)
+        assert len(np.unique(idx)) > 1  # different sources, different paths
+
+    def test_smodk_dmodk_symmetry(self, tree8x3):
+        # s-mod-k's path for (s, d) equals d-mod-k's path for (d, s).
+        dmodk, smodk = DModK(tree8x3), SModK(tree8x3)
+        for s, d in ((0, 127), (3, 88), (17, 64)):
+            assert smodk.route(s, d).indices == dmodk.route(d, s).indices
+
+    def test_labels(self, tree8x3):
+        assert DModK(tree8x3).label == "d-mod-k"
+        assert SModK(tree8x3).label == "s-mod-k"

@@ -1,0 +1,114 @@
+"""Concrete path construction: Figure 3 exactness + structural checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing.path import build_path, check_path
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestFigure3Paths:
+    """The paper lists all 8 paths between nodes 0 and 63 of
+    XGFT(3; 4,4,4; 1,4,2).  The top-level switch of Path i must be the
+    i-th leftmost; every path climbs through (1,0,0,0) and descends
+    through (1,3,3,0)."""
+
+    def test_endpoints_and_lengths(self, fig3_xgft):
+        for t in range(8):
+            p = build_path(fig3_xgft, 0, 63, t)
+            assert p.nodes[0] == (0, 0)
+            assert p.nodes[-1] == (0, 63)
+            assert len(p.nodes) == 7  # 2k+1 hops for k=3
+            assert len(p.links) == 6
+            check_path(fig3_xgft, p)
+
+    def test_top_switch_is_path_index(self, fig3_xgft):
+        for t in range(8):
+            p = build_path(fig3_xgft, 0, 63, t)
+            level, idx = p.top_switch
+            assert level == 3
+            # Top-switch label digits within the NCA subtree are the port
+            # choices; for the full tree the low digits identify it.
+            ports = p.up_ports
+            digits = fig3_xgft.node_digits(3, idx)
+            assert digits[0] == ports[0]
+            assert digits[1] == ports[1]
+            assert digits[2] == ports[2]
+
+    def test_all_paths_distinct(self, fig3_xgft):
+        tops = {build_path(fig3_xgft, 0, 63, t).top_switch for t in range(8)}
+        assert len(tops) == 8
+
+    def test_describe_format(self, fig3_xgft):
+        text = build_path(fig3_xgft, 0, 63, 7).describe(fig3_xgft)
+        assert text.startswith("0 -> (1, 0, 0, 0)")
+        assert text.endswith("-> 63")
+
+
+class TestSelfPath:
+    def test_self_pair_is_empty_path(self, tree8x2):
+        p = build_path(tree8x2, 5, 5, 0)
+        assert p.nodes == ((0, 5),)
+        assert p.links == ()
+        assert len(p) == 0
+        check_path(tree8x2, p)
+
+    def test_self_pair_rejects_nonzero_index(self, tree8x2):
+        with pytest.raises(RoutingError):
+            build_path(tree8x2, 5, 5, 1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_exhaustive_small_pairs(self, xgft):
+        """Every path of every pair on small trees passes hop-by-hop
+        verification (caps work on the bigger pool entries)."""
+        n = min(xgft.n_procs, 8)
+        for s in range(n):
+            for d in range(n):
+                x = xgft.num_shortest_paths(s, d)
+                for t in range(x):
+                    check_path(xgft, build_path(xgft, s, d, t))
+
+    def test_out_of_range_nodes(self, tree8x2):
+        with pytest.raises(RoutingError):
+            build_path(tree8x2, 0, tree8x2.n_procs, 0)
+        with pytest.raises(RoutingError):
+            build_path(tree8x2, -1, 0, 0)
+
+    def test_path_index_out_of_range(self, tree8x2):
+        with pytest.raises(RoutingError):
+            build_path(tree8x2, 0, 31, tree8x2.max_paths)
+
+    def test_check_path_catches_corruption(self, tree8x2):
+        from dataclasses import replace
+
+        p = build_path(tree8x2, 0, 31, 0)
+        bad_nodes = (p.nodes[0], p.nodes[2], *p.nodes[2:])
+        with pytest.raises(RoutingError):
+            check_path(tree8x2, replace(p, nodes=bad_nodes))
+        with pytest.raises(RoutingError):
+            check_path(tree8x2, replace(p, links=p.links[:-1]))
+        wrong_first_link = (p.links[1],) + p.links[1:]
+        with pytest.raises(RoutingError):
+            check_path(tree8x2, replace(p, links=wrong_first_link))
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_random_paths_are_valid(data):
+    xgft = data.draw(st.sampled_from(TOPOLOGY_POOL))
+    s = data.draw(st.integers(0, xgft.n_procs - 1))
+    d = data.draw(st.integers(0, xgft.n_procs - 1))
+    x = int(xgft.num_shortest_paths(s, d))
+    t = data.draw(st.integers(0, x - 1))
+    path = build_path(xgft, s, d, t)
+    check_path(xgft, path)
+    # Symmetric climb/descend: node levels form 0..k..0.
+    levels = [l for l, _ in path.nodes]
+    k = path.nca_level
+    assert levels == list(range(k + 1)) + list(range(k - 1, -1, -1))

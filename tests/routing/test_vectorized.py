@@ -1,0 +1,87 @@
+"""Vectorized path->link computation vs the scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.heuristics import Disjoint, UMulti
+from repro.routing.modk import DModK
+from repro.routing.path import build_path
+from repro.routing.vectorized import compile_routes, path_link_matrix
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestPathLinkMatrix:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_matches_build_path(self, xgft):
+        rng = np.random.default_rng(0)
+        n = xgft.n_procs
+        for _ in range(10):
+            s = int(rng.integers(n))
+            d = int(rng.integers(n))
+            k = int(xgft.nca_level(s, d))
+            if k == 0:
+                continue
+            x = xgft.W(k)
+            idx = np.arange(x)[None, :].repeat(1, axis=0)
+            links = path_link_matrix(xgft, np.array([s]), np.array([d]), idx, k)
+            for t in range(x):
+                assert tuple(links[0, t]) == build_path(xgft, s, d, t).links
+
+    def test_shape(self, tree8x3):
+        s = np.array([0, 1])
+        d = np.array([127, 126])
+        idx = np.zeros((2, 3), dtype=np.int64)
+        links = path_link_matrix(tree8x3, s, d, idx, 3)
+        assert links.shape == (2, 3, 6)
+
+
+class TestCompileRoutes:
+    def test_all_pairs_present(self, kary2x2):
+        table = compile_routes(kary2x2, DModK(kary2x2))
+        n = kary2x2.n_procs
+        assert len(table) == n * (n - 1)
+
+    def test_paths_match_scheme(self, tree8x2):
+        scheme = Disjoint(tree8x2, 3)
+        table = compile_routes(tree8x2, scheme)
+        n = tree8x2.n_procs
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            s, d = rng.integers(n, size=2)
+            if s == d:
+                continue
+            expected = [p.links for p in scheme.route(int(s), int(d)).paths(tree8x2)]
+            assert table[int(s) * n + int(d)] == expected
+
+    def test_subset_of_pairs(self, tree8x2):
+        pairs = np.array([[0, 5], [3, 20]])
+        table = compile_routes(tree8x2, DModK(tree8x2), pairs)
+        assert set(table) == {0 * 32 + 5, 3 * 32 + 20}
+
+    def test_rejects_self_pairs(self, tree8x2):
+        with pytest.raises(ValueError):
+            compile_routes(tree8x2, DModK(tree8x2), np.array([[1, 1]]))
+
+    def test_umulti_full_fanout(self, tree8x2):
+        table = compile_routes(tree8x2, UMulti(tree8x2))
+        key = 0 * 32 + 31  # top-level pair
+        assert len(table[key]) == tree8x2.max_paths
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_vectorized_agrees_with_scalar_random(data):
+    xgft = data.draw(st.sampled_from(TOPOLOGY_POOL))
+    s = data.draw(st.integers(0, xgft.n_procs - 1))
+    d = data.draw(st.integers(0, xgft.n_procs - 1))
+    k = int(xgft.nca_level(s, d))
+    if k == 0:
+        return
+    t = data.draw(st.integers(0, xgft.W(k) - 1))
+    links = path_link_matrix(
+        xgft, np.array([s]), np.array([d]), np.array([[t]]), k
+    )
+    assert tuple(links[0, 0]) == build_path(xgft, s, d, t).links

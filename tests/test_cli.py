@@ -1,0 +1,53 @@
+"""CLI tests via the in-process entry point."""
+
+import pytest
+
+from repro.cli import main, parse_topology
+from repro.errors import ReproError
+from repro.topology.variants import k_ary_n_tree, m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+class TestParseTopology:
+    def test_mport(self):
+        assert parse_topology("mport:8x3") == m_port_n_tree(8, 3)
+
+    def test_kary(self):
+        assert parse_topology("kary:4x2") == k_ary_n_tree(4, 2)
+
+    def test_explicit_xgft(self):
+        assert parse_topology("xgft:3;4,4,4;1,4,2") == XGFT(3, (4, 4, 4), (1, 4, 2))
+
+    @pytest.mark.parametrize("bad", ["mport:8", "xgft:2;4", "torus:3x3", "mport:axb"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(ReproError):
+            parse_topology(bad)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "mport:8x2"]) == 0
+        out = capsys.readouterr().out
+        assert "XGFT(2; 4,8; 1,4)" in out
+        assert "32" in out
+
+    def test_route_figure3_example(self, capsys):
+        assert main(["route", "xgft:3;4,4,4;1,4,2", "disjoint:4", "0", "63"]) == 0
+        out = capsys.readouterr().out
+        assert "Path 7" in out and "Path 5" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "disjoint" in out
+
+    def test_resources_experiment(self, capsys):
+        assert main(["resources"]) == 0
+        assert "LID budget" in capsys.readouterr().out
+
+    def test_error_path_returns_2(self, capsys):
+        assert main(["info", "bogus:1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_route_error(self, capsys):
+        assert main(["route", "mport:8x2", "nosuchscheme", "0", "1"]) == 2

@@ -1,0 +1,29 @@
+"""Execute every doctest in the library's docstrings.
+
+The usage examples in module and function docstrings are part of the
+public documentation; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # executes the CLI on import
+            continue
+        yield importlib.import_module(info.name)
+
+
+@pytest.mark.parametrize("module", list(_iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"

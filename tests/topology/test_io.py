@@ -1,0 +1,60 @@
+"""Topology export tests (NetworkX, DOT)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology.io import to_dot, to_networkx
+from repro.topology.xgft import XGFT
+
+
+@pytest.fixture
+def small() -> XGFT:
+    return XGFT(2, (2, 2), (1, 2))
+
+
+class TestToNetworkx:
+    def test_node_and_edge_counts(self, small):
+        g = to_networkx(small, directed=True)
+        expected_nodes = sum(small.level_size(l) for l in range(small.h + 1))
+        assert g.number_of_nodes() == expected_nodes
+        assert g.number_of_edges() == small.n_links
+
+    def test_undirected_halves_edges(self, small):
+        g = to_networkx(small, directed=False)
+        assert g.number_of_edges() == small.n_links // 2
+
+    def test_connected(self, small):
+        g = to_networkx(small, directed=False)
+        assert nx.is_connected(g)
+
+    def test_diameter_is_2h(self, small):
+        # Two processing nodes in different top subtrees are 2h apart.
+        g = to_networkx(small, directed=False)
+        assert nx.diameter(g) == 2 * small.h
+
+    def test_shortest_path_count_matches_property1(self):
+        x = XGFT(2, (2, 4), (1, 2))
+        g = to_networkx(x, directed=False)
+        s, d = ("proc", 0), ("proc", x.n_procs - 1)
+        paths = list(nx.all_shortest_paths(g, s, d))
+        assert len(paths) == x.num_shortest_paths(0, x.n_procs - 1)
+
+    def test_edge_attributes(self, small):
+        g = to_networkx(small, directed=True)
+        for _, _, data in g.edges(data=True):
+            assert data["kind"] in ("up", "down")
+            assert 0 <= data["link_id"] < small.n_links
+
+
+class TestToDot:
+    def test_dot_contains_all_nodes(self, small):
+        text = to_dot(small)
+        assert text.startswith("graph xgft {")
+        assert text.rstrip().endswith("}")
+        for l in range(small.h + 1):
+            for i in range(small.level_size(l)):
+                assert f"L{l}_{i}" in text
+
+    def test_dot_edge_count(self, small):
+        text = to_dot(small)
+        assert text.count(" -- ") == small.n_links // 2

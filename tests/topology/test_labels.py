@@ -1,0 +1,59 @@
+"""Node labelling: digit tuples, radices, paper-style rendering."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestRadices:
+    def test_figure2_topology_radices(self):
+        # Figure 2 labels XGFT(3; 3,2,2; 1,2,3): digit i has radix w_i at
+        # or below the node's level, m_i above it.
+        x = XGFT(3, (3, 2, 2), (1, 2, 3))
+        assert x.node_radices(0) == (3, 2, 2)
+        assert x.node_radices(1) == (1, 2, 2)
+        assert x.node_radices(2) == (1, 2, 2)
+        assert x.node_radices(3) == (1, 2, 3)
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_radix_capacity_equals_level_size(self, xgft):
+        for l in range(xgft.h + 1):
+            cap = 1
+            for r in xgft.node_radices(l):
+                cap *= r
+            assert cap == xgft.level_size(l)
+
+
+class TestDigitCodec:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_roundtrip_every_node(self, xgft):
+        for l in range(xgft.h + 1):
+            for idx in range(xgft.level_size(l)):
+                digits = xgft.node_digits(l, idx)
+                assert xgft.node_index(l, digits) == idx
+
+    def test_proc_digits_little_endian_in_m(self):
+        x = XGFT(3, (4, 4, 4), (1, 4, 2))
+        assert x.node_digits(0, 63) == (3, 3, 3)
+        assert x.node_digits(0, 1) == (1, 0, 0)
+        assert x.node_digits(0, 4) == (0, 1, 0)
+
+    def test_proc_digit_accessor(self):
+        x = XGFT(3, (4, 4, 8), (1, 4, 4))
+        assert x.proc_digit(63, 1) == 3
+        assert x.proc_digit(63, 2) == 3
+        assert x.proc_digit(63, 3) == 3
+        assert x.proc_digit(64, 3) == 4
+        with pytest.raises(TopologyError):
+            x.proc_digit(0, 0)
+        with pytest.raises(TopologyError):
+            x.proc_digit(0, 4)
+
+    def test_label_rendering_big_endian(self):
+        x = XGFT(3, (4, 4, 4), (1, 4, 2))
+        # The paper writes (l, a_h, ..., a_1).
+        assert x.node_label(0, 63) == "(0, 3, 3, 3)"
+        assert x.node_label(0, 1) == "(0, 0, 0, 1)"

@@ -1,0 +1,85 @@
+"""Directed-link registry: ids, round-trips, counts, level masks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.xgft import LinkKind, XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestLinkCounts:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_total_links(self, xgft):
+        expected = 2 * sum(
+            xgft.level_size(l) * xgft.n_up_ports(l) for l in range(xgft.h)
+        )
+        assert xgft.n_links == expected
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_boundary_counts_consistent(self, xgft):
+        for l in range(xgft.h):
+            assert (
+                xgft.n_boundary_links(l)
+                == xgft.level_size(l) * xgft.n_up_ports(l)
+                == xgft.level_size(l + 1) * xgft.n_down_ports(l + 1)
+            )
+
+
+class TestLinkRefRoundtrip:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_every_link_roundtrips(self, xgft):
+        seen = set()
+        for link_id, ref in xgft.iter_links():
+            key = (ref.kind, ref.src_level, ref.src_index, ref.dst_level,
+                   ref.dst_index)
+            assert key not in seen, "duplicate physical link"
+            seen.add(key)
+            if ref.kind is LinkKind.UP:
+                assert ref.src_level == ref.level
+                assert ref.dst_level == ref.level + 1
+                again = xgft.up_link_id(ref.level, ref.src_index, ref.port)
+            else:
+                assert ref.src_level == ref.level + 1
+                assert ref.dst_level == ref.level
+                child_digit = ref.port - xgft.n_up_ports(ref.src_level)
+                again = xgft.down_link_id(ref.level, ref.src_index, child_digit)
+            assert int(again) == link_id
+        assert len(seen) == xgft.n_links
+
+    def test_up_down_are_reverses(self):
+        xgft = XGFT(2, (3, 5), (2, 3))
+        ups = {}
+        downs = {}
+        for _, ref in xgft.iter_links():
+            ends = (ref.src_level, ref.src_index, ref.dst_level, ref.dst_index)
+            if ref.kind is LinkKind.UP:
+                ups[ends] = True
+            else:
+                downs[(ends[2], ends[3], ends[0], ends[1])] = True
+        assert ups.keys() == downs.keys()
+
+    def test_out_of_range(self):
+        xgft = XGFT(1, (2,), (1,))
+        with pytest.raises(TopologyError):
+            xgft.link_ref(xgft.n_links)
+        with pytest.raises(TopologyError):
+            xgft.link_ref(-1)
+
+
+class TestLevelMasks:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_masks_match_refs(self, xgft):
+        levels = xgft.link_levels()
+        is_up = xgft.link_is_up()
+        assert len(levels) == len(is_up) == xgft.n_links
+        for link_id, ref in xgft.iter_links():
+            assert levels[link_id] == ref.level
+            assert is_up[link_id] == (ref.kind is LinkKind.UP)
+
+    def test_direction_split_even(self):
+        xgft = XGFT(3, (4, 4, 8), (1, 4, 4))
+        is_up = xgft.link_is_up()
+        assert is_up.sum() == xgft.n_links // 2
+        assert int(np.sum(~is_up)) == xgft.n_links // 2

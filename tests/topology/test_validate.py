@@ -1,0 +1,31 @@
+"""Structural validator tests + hypothesis over random XGFT shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.validate import validate_topology
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+@pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+def test_pool_topologies_validate(xgft):
+    validate_topology(xgft, full=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    h=st.integers(1, 3),
+    data=st.data(),
+)
+def test_random_xgfts_validate(h, data):
+    m = tuple(data.draw(st.integers(1, 4)) for _ in range(h))
+    w = tuple(data.draw(st.integers(1, 3)) for _ in range(h))
+    validate_topology(XGFT(h, m, w), full=True)
+
+
+def test_fast_mode_skips_exhaustive_checks():
+    # Should still run the counting checks without error.
+    validate_topology(XGFT(3, (4, 4, 8), (1, 4, 4)), full=False)

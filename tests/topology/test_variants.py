@@ -1,0 +1,82 @@
+"""Fat-tree variant constructors and their paper equivalences."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.variants import gft, k_ary_n_tree, m_port_n_tree, slimmed_xgft
+from repro.topology.xgft import XGFT
+
+
+class TestMPortNTree:
+    @pytest.mark.parametrize(
+        "m,n,expected",
+        [
+            (8, 2, XGFT(2, (4, 8), (1, 4))),
+            (16, 2, XGFT(2, (8, 16), (1, 8))),
+            (24, 2, XGFT(2, (12, 24), (1, 12))),
+            (8, 3, XGFT(3, (4, 4, 8), (1, 4, 4))),
+            (16, 3, XGFT(3, (8, 8, 16), (1, 8, 8))),
+            (24, 3, XGFT(3, (12, 12, 24), (1, 12, 12))),
+        ],
+    )
+    def test_paper_section5_equivalences(self, m, n, expected):
+        assert m_port_n_tree(m, n) == expected
+
+    @pytest.mark.parametrize("m,n", [(4, 1), (4, 2), (8, 3), (6, 2)])
+    def test_node_count_formula(self, m, n):
+        # An m-port n-tree has 2 * (m/2)^n processing nodes.
+        assert m_port_n_tree(m, n).n_procs == 2 * (m // 2) ** n
+
+    def test_ranger_path_count(self):
+        # The paper: the 24-port 3-tree has 144 shortest paths max.
+        assert m_port_n_tree(24, 3).max_paths == 144
+
+    def test_rejects_odd_or_small_m(self):
+        with pytest.raises(TopologyError):
+            m_port_n_tree(7, 2)
+        with pytest.raises(TopologyError):
+            m_port_n_tree(0, 2)
+        with pytest.raises(TopologyError):
+            m_port_n_tree(8, 0)
+
+
+class TestKAryNTree:
+    @pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2), (3, 3)])
+    def test_node_count(self, k, n):
+        assert k_ary_n_tree(k, n).n_procs == k**n
+
+    def test_structure(self):
+        x = k_ary_n_tree(4, 2)
+        assert x == XGFT(2, (4, 4), (1, 4))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(0, 2)
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(2, 0)
+
+
+class TestGft:
+    def test_constant_arities(self):
+        x = gft(3, 4, 2)
+        assert x == XGFT(3, (4, 4, 4), (2, 2, 2))
+        assert x.max_paths == 8
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(TopologyError):
+            gft(0, 4, 2)
+
+
+class TestSlimmed:
+    def test_top_level_thinner(self):
+        full = slimmed_xgft(3, 4, 4, 0)
+        slim = slimmed_xgft(3, 4, 4, 2)
+        assert full.w[-1] == 4 and slim.w[-1] == 2
+        assert slim.max_paths < full.max_paths
+        assert slim.n_procs == full.n_procs
+
+    def test_rejects_over_slimming(self):
+        with pytest.raises(TopologyError):
+            slimmed_xgft(3, 4, 4, 4)
+        with pytest.raises(TopologyError):
+            slimmed_xgft(0, 4, 4, 0)

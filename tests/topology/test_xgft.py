@@ -1,0 +1,119 @@
+"""XGFT construction, sizes and basic accessors."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.xgft import XGFT
+
+from tests.conftest import TOPOLOGY_POOL, pool_ids
+
+
+class TestConstruction:
+    def test_paper_figure1_instances(self):
+        # Figure 1 shows XGFT(1;4;1), XGFT(2;4,2;1,2), XGFT(3;2,2,3;1,2,2).
+        a = XGFT(1, (4,), (1,))
+        assert a.n_procs == 4 and a.n_switches == 1
+        b = XGFT(2, (4, 2), (1, 2))
+        assert b.n_procs == 8 and b.level_size(2) == 2
+        c = XGFT(3, (2, 2, 3), (1, 2, 2))
+        assert c.n_procs == 12 and c.n_top_switches == 4
+
+    def test_degenerate_single_node(self):
+        x = XGFT(0, (), ())
+        assert x.n_procs == 1
+        assert x.n_links == 0
+        assert x.max_paths == 1
+
+    def test_rejects_negative_h(self):
+        with pytest.raises(TopologyError):
+            XGFT(-1, (), ())
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TopologyError):
+            XGFT(2, (4,), (1, 2))
+        with pytest.raises(TopologyError):
+            XGFT(2, (4, 2), (1,))
+
+    def test_rejects_nonpositive_arity(self):
+        with pytest.raises(TopologyError):
+            XGFT(2, (4, 0), (1, 2))
+        with pytest.raises(TopologyError):
+            XGFT(2, (4, 2), (1, -2))
+
+    def test_equality_and_hash(self):
+        a = XGFT(2, (4, 8), (1, 4))
+        b = XGFT(2, (4, 8), (1, 4))
+        c = XGFT(2, (4, 8), (1, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a tree"
+
+    def test_repr(self):
+        assert repr(XGFT(2, (4, 8), (1, 4))) == "XGFT(2; 4,8; 1,4)"
+
+
+class TestSizes:
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_level_sizes_match_paper_formula(self, xgft):
+        # At level l there are (prod_{i>l} m_i) * (prod_{i<=l} w_i) nodes.
+        for l in range(xgft.h + 1):
+            expected = 1
+            for i in range(l):
+                expected *= xgft.w[i]
+            for i in range(l, xgft.h):
+                expected *= xgft.m[i]
+            assert xgft.level_size(l) == expected
+
+    @pytest.mark.parametrize("xgft", TOPOLOGY_POOL, ids=pool_ids())
+    def test_proc_and_top_counts(self, xgft):
+        assert xgft.n_procs == xgft.level_size(0)
+        assert xgft.n_top_switches == xgft.level_size(xgft.h)
+
+    def test_port_counts_match_paper(self):
+        # p_i = w_{i+1} + m_i for 1 <= i <= h-1; p_0 = w_1; p_h = m_h.
+        x = XGFT(3, (3, 2, 4), (1, 2, 3))
+        assert x.n_ports(0) == 1
+        assert x.n_ports(1) == 2 + 3
+        assert x.n_ports(2) == 3 + 2
+        assert x.n_ports(3) == 4
+
+    def test_level_out_of_range(self):
+        x = XGFT(2, (2, 2), (1, 2))
+        with pytest.raises(TopologyError):
+            x.level_size(3)
+        with pytest.raises(TopologyError):
+            x.level_size(-1)
+
+
+class TestCumulativeProducts:
+    def test_M_and_W(self):
+        x = XGFT(3, (4, 4, 8), (1, 4, 4))
+        assert [x.M(k) for k in range(4)] == [1, 4, 16, 128]
+        assert [x.W(k) for k in range(4)] == [1, 1, 4, 16]
+        assert x.max_paths == 16
+
+
+class TestSubtrees:
+    def test_subtree_partition(self):
+        x = XGFT(3, (4, 4, 8), (1, 4, 4))
+        assert x.n_subtrees(1) == 32
+        assert x.n_subtrees(2) == 8
+        assert x.subtree_index(2, 0) == 0
+        assert x.subtree_index(2, 15) == 0
+        assert x.subtree_index(2, 16) == 1
+
+    def test_boundary_links_are_TL(self):
+        # TL(k) = prod_{i=1..k+1} w_i.
+        x = XGFT(3, (4, 4, 8), (1, 4, 4))
+        assert x.subtree_boundary_links(0) == 1
+        assert x.subtree_boundary_links(1) == 4
+        assert x.subtree_boundary_links(2) == 16
+
+
+class TestDescribe:
+    def test_describe_mentions_key_facts(self):
+        x = XGFT(2, (4, 8), (1, 4))
+        text = x.describe()
+        assert "32" in text  # processing nodes
+        assert "XGFT(2; 4,8; 1,4)" in text
+        assert "max paths" in text

@@ -1,0 +1,61 @@
+"""Theorem 2 adversarial construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.adversarial import (
+    suggest_theorem2_topology,
+    theorem2_bound,
+    theorem2_pattern,
+)
+
+
+class TestPatternStructure:
+    def test_sources_fill_first_subtree(self):
+        xgft = suggest_theorem2_topology(2, 4)
+        tm = theorem2_pattern(xgft)
+        n_src = xgft.M(xgft.h - 1)
+        assert sorted(np.unique(tm.src)) == list(range(n_src))
+
+    def test_destinations_are_multiples_of_prod_w(self):
+        xgft = suggest_theorem2_topology(3, 2)
+        tm = theorem2_pattern(xgft)
+        wh = xgft.W(xgft.h)
+        assert np.all(tm.dst % wh == 0)
+
+    def test_destinations_outside_first_subtree_and_distinct(self):
+        xgft = suggest_theorem2_topology(2, 4)
+        tm = theorem2_pattern(xgft)
+        block = xgft.M(xgft.h - 1)
+        assert np.all(tm.dst >= block)
+        assert len(np.unique(tm.dst)) == len(tm.dst)
+
+    def test_unit_amounts(self):
+        tm = theorem2_pattern(suggest_theorem2_topology(2, 3))
+        assert np.allclose(tm.amount, 1.0)
+
+
+class TestFeasibility:
+    def test_infeasible_on_narrow_top(self):
+        # The paper's 8-port 3-tree cannot host the full construction.
+        with pytest.raises(TrafficError):
+            theorem2_pattern(m_port_n_tree(8, 3))
+
+    def test_suggested_topologies_feasible(self):
+        for h, w in ((2, 2), (2, 4), (3, 2), (3, 3)):
+            xgft = suggest_theorem2_topology(h, w)
+            tm = theorem2_pattern(xgft)
+            assert tm.n_pairs == xgft.M(h - 1)
+
+    def test_suggest_rejects_h1(self):
+        with pytest.raises(TrafficError):
+            suggest_theorem2_topology(1, 4)
+
+
+class TestBound:
+    def test_bound_equals_prod_w_in_target_regime(self):
+        for h, w in ((2, 4), (3, 2)):
+            xgft = suggest_theorem2_topology(h, w)
+            assert theorem2_bound(xgft) == pytest.approx(w ** (h - 1))

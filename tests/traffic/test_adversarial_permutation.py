@@ -1,0 +1,46 @@
+"""Adversarial permutation tests (the Theorem 2 hotspot as a permutation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.flow.simulator import FlowSimulator
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.adversarial import adversarial_permutation, suggest_theorem2_topology
+from repro.traffic.permutations import permutation_matrix
+
+
+class TestConstruction:
+    def test_is_permutation(self):
+        xgft = suggest_theorem2_topology(2, 4)
+        perm = adversarial_permutation(xgft)
+        assert sorted(perm.tolist()) == list(range(xgft.n_procs))
+
+    def test_hot_block_targets_multiples(self):
+        xgft = suggest_theorem2_topology(2, 4)
+        perm = adversarial_permutation(xgft)
+        wh = xgft.W(xgft.h)
+        block = xgft.M(xgft.h - 1)
+        assert np.all(perm[:block] % wh == 0)
+        assert np.all(perm[:block] >= block)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(TrafficError):
+            adversarial_permutation(m_port_n_tree(8, 3))
+
+
+class TestEffect:
+    def test_dmodk_hotspot_materializes(self):
+        """d-mod-k's max load on the adversarial permutation reaches the
+        subtree size; limited multi-path shrinks it roughly by 1/K."""
+        xgft = suggest_theorem2_topology(2, 4)
+        tm = permutation_matrix(adversarial_permutation(xgft))
+        sim = FlowSimulator(xgft)
+        n_src = xgft.M(xgft.h - 1)
+        dmodk = sim.evaluate(make_scheme(xgft, "d-mod-k"), tm)
+        assert dmodk.max_load >= n_src  # the funnel (filler may add 1)
+        dj2 = sim.evaluate(make_scheme(xgft, "disjoint:2"), tm)
+        assert dj2.max_load <= dmodk.max_load / 2 + 1
+        um = sim.evaluate(make_scheme(xgft, "umulti"), tm)
+        assert um.ratio == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Collective schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.routing.factory import make_scheme
+from repro.topology.variants import m_port_n_tree
+from repro.traffic.collectives import (
+    recursive_doubling,
+    schedule_cost,
+    shift_all_to_all,
+)
+
+
+class TestShiftAllToAll:
+    def test_phase_count_and_coverage(self):
+        phases = list(shift_all_to_all(8))
+        assert len(phases) == 7
+        # Union of all phases = all-to-all: every ordered pair once.
+        total = np.zeros((8, 8))
+        for tm in phases:
+            total += tm.to_dense()
+        expected = np.ones((8, 8)) - np.eye(8)
+        assert np.array_equal(total, expected)
+
+    def test_each_phase_is_permutation(self):
+        for tm in shift_all_to_all(6):
+            assert tm.is_permutation()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TrafficError):
+            list(shift_all_to_all(1))
+
+
+class TestRecursiveDoubling:
+    def test_phase_count(self):
+        assert len(list(recursive_doubling(16))) == 4
+
+    def test_phases_are_pairings(self):
+        for tm in recursive_doubling(8):
+            dense = tm.to_dense()
+            assert np.array_equal(dense, dense.T)  # symmetric exchanges
+            assert tm.is_permutation()
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TrafficError):
+            list(recursive_doubling(6))
+
+
+class TestScheduleCost:
+    def test_umulti_shift_all_to_all_is_optimal(self):
+        """On a full-bisection XGFT, every shift phase has optimal load
+        1, so UMULTI's total is exactly N - 1."""
+        xgft = m_port_n_tree(8, 2)
+        total, worst = schedule_cost(
+            xgft, make_scheme(xgft, "umulti"), shift_all_to_all(xgft.n_procs)
+        )
+        assert total == pytest.approx(xgft.n_procs - 1)
+        assert worst == pytest.approx(1.0)
+
+    def test_dmodk_never_better_than_umulti(self):
+        xgft = m_port_n_tree(8, 2)
+        d_total, d_worst = schedule_cost(
+            xgft, make_scheme(xgft, "d-mod-k"), shift_all_to_all(xgft.n_procs)
+        )
+        assert d_total >= xgft.n_procs - 1
+        assert d_worst >= 1.0
+
+    def test_multipath_between(self):
+        xgft = m_port_n_tree(8, 2)
+        costs = {}
+        for spec in ("d-mod-k", "disjoint:2", "umulti"):
+            costs[spec], _ = schedule_cost(
+                xgft, make_scheme(xgft, spec), shift_all_to_all(xgft.n_procs)
+            )
+        assert costs["umulti"] <= costs["disjoint:2"] <= costs["d-mod-k"]

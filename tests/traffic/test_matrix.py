@@ -1,0 +1,123 @@
+"""TrafficMatrix: coalescing, queries, algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestConstruction:
+    def test_coalesces_duplicates(self):
+        tm = TrafficMatrix(4, [0, 0, 1], [1, 1, 2], [1.0, 2.0, 3.0])
+        assert tm.n_pairs == 2
+        assert tm[0, 1] == 3.0
+        assert tm[1, 2] == 3.0
+
+    def test_drops_zeros(self):
+        tm = TrafficMatrix(4, [0, 1], [1, 2], [0.0, 1.0])
+        assert tm.n_pairs == 1
+        assert tm[0, 1] == 0.0
+
+    def test_default_amounts(self):
+        tm = TrafficMatrix(4, [0, 1], [1, 2])
+        assert tm.total == 2.0
+
+    def test_broadcast_scalar_amount(self):
+        tm = TrafficMatrix(4, [0, 1], [1, 2], [2.5])
+        assert tm[0, 1] == 2.5 and tm[1, 2] == 2.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(4, [0], [4])
+        with pytest.raises(TrafficError):
+            TrafficMatrix(4, [-1], [0])
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(4, [0], [1], [-1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(4, [0, 1], [1], [1.0, 1.0])
+
+    def test_empty(self):
+        tm = TrafficMatrix.empty(8)
+        assert tm.n_pairs == 0 and tm.total == 0.0
+
+
+class TestDenseRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.data())
+    def test_roundtrip(self, n, data):
+        dense = np.array(
+            [
+                [data.draw(st.sampled_from([0.0, 1.0, 2.5])) for _ in range(n)]
+                for _ in range(n)
+            ]
+        )
+        tm = TrafficMatrix.from_dense(dense)
+        assert np.allclose(tm.to_dense(), dense)
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_dense(np.zeros((2, 3)))
+
+    def test_from_pairs(self):
+        tm = TrafficMatrix.from_pairs(8, [(0, 1), (2, 3)], amount=2.0)
+        assert tm[0, 1] == 2.0 and tm[2, 3] == 2.0
+
+
+class TestQueries:
+    def test_network_pairs_excludes_self(self):
+        tm = TrafficMatrix(4, [0, 1, 2], [0, 2, 2], [5.0, 1.0, 1.0])
+        s, d, a = tm.network_pairs()
+        assert list(zip(s, d)) == [(1, 2)]  # (0,0) and (2,2) are self-pairs
+        assert tm.total == 7.0  # self traffic still counted in total
+
+    def test_row_col_sums(self):
+        tm = TrafficMatrix(3, [0, 0, 1], [1, 2, 2], [1.0, 2.0, 4.0])
+        assert list(tm.row_sums()) == [3.0, 4.0, 0.0]
+        assert list(tm.col_sums()) == [0.0, 1.0, 6.0]
+
+    def test_is_permutation(self):
+        assert TrafficMatrix(3, [0, 1, 2], [1, 2, 0]).is_permutation()
+        assert TrafficMatrix(3, [0, 1, 2], [0, 1, 2]).is_permutation()
+        assert not TrafficMatrix(3, [0, 1, 2], [1, 1, 0]).is_permutation()
+        assert not TrafficMatrix(3, [0, 1], [1, 0]).is_permutation()
+        assert not TrafficMatrix(3, [0, 1, 2], [1, 2, 0], [2, 1, 1]).is_permutation()
+
+
+class TestAlgebra:
+    def test_scaled(self):
+        tm = TrafficMatrix(3, [0], [1], [2.0]).scaled(1.5)
+        assert tm[0, 1] == 3.0
+        with pytest.raises(TrafficError):
+            tm.scaled(-1)
+
+    def test_add(self):
+        a = TrafficMatrix(3, [0], [1], [1.0])
+        b = TrafficMatrix(3, [0, 1], [1, 2], [2.0, 1.0])
+        c = a + b
+        assert c[0, 1] == 3.0 and c[1, 2] == 1.0
+
+    def test_add_size_mismatch(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.empty(3) + TrafficMatrix.empty(4)
+
+    def test_equality(self):
+        a = TrafficMatrix(3, [0, 1], [1, 2], [1.0, 2.0])
+        b = TrafficMatrix(3, [1, 0], [2, 1], [2.0, 1.0])  # different order
+        assert a == b
+        assert a != TrafficMatrix(3, [0], [1], [1.0])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TrafficMatrix.empty(2))
+
+    def test_immutable_arrays(self):
+        tm = TrafficMatrix(3, [0], [1], [1.0])
+        with pytest.raises(ValueError):
+            tm.amount[0] = 5.0

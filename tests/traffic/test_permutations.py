@@ -1,0 +1,64 @@
+"""Permutation traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.permutations import (
+    derangement,
+    permutation_matrix,
+    random_permutation,
+    sample_permutations,
+)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(100, seed=0)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_reproducible(self):
+        assert np.array_equal(random_permutation(50, 7), random_permutation(50, 7))
+
+    def test_fixed_points_allowed(self):
+        # Over many samples some permutation must contain a fixed point
+        # (the paper's "possibly itself").
+        rng = np.random.default_rng(0)
+        found = any(
+            np.any(random_permutation(8, rng) == np.arange(8)) for _ in range(50)
+        )
+        assert found
+
+
+class TestDerangement:
+    def test_no_fixed_points(self):
+        for seed in range(5):
+            perm = derangement(20, seed)
+            assert not np.any(perm == np.arange(20))
+
+    def test_single_node_impossible(self):
+        with pytest.raises(TrafficError):
+            derangement(1)
+
+
+class TestPermutationMatrix:
+    def test_unit_traffic_rows(self):
+        tm = permutation_matrix(np.array([1, 2, 0]))
+        assert tm.is_permutation()
+        assert tm.total == 3.0
+
+    def test_custom_amount(self):
+        tm = permutation_matrix(np.array([1, 0]), amount=2.0)
+        assert tm[0, 1] == 2.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(TrafficError):
+            permutation_matrix(np.array([0, 0, 1]))
+
+
+class TestSamplePermutations:
+    def test_count_and_independence(self):
+        tms = list(sample_permutations(16, 4, seed=3))
+        assert len(tms) == 4
+        assert all(tm.is_permutation() for tm in tms)
+        assert any(tms[0] != tm for tm in tms[1:])

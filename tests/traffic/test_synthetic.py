@@ -1,0 +1,100 @@
+"""Synthetic traffic pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.synthetic import (
+    all_to_all,
+    bit_complement,
+    bit_reversal,
+    hotspot,
+    shift_pattern,
+    transpose_pattern,
+    uniform_expected,
+)
+
+
+class TestAllToAll:
+    def test_per_node_egress(self):
+        tm = all_to_all(8, total_per_node=2.0)
+        assert np.allclose(tm.row_sums(), 2.0)
+        assert np.allclose(tm.col_sums(), 2.0)
+        assert tm[0, 0] == 0.0
+
+    def test_single_node(self):
+        assert all_to_all(1).n_pairs == 0
+
+
+class TestUniformExpected:
+    def test_includes_self(self):
+        tm = uniform_expected(4, load=1.0)
+        assert tm[0, 0] == 0.25
+        assert np.allclose(tm.row_sums(), 1.0)
+
+
+class TestShift:
+    def test_stride(self):
+        tm = shift_pattern(8, 3)
+        assert tm[0, 3] == 1.0 and tm[6, 1] == 1.0
+        assert tm.is_permutation()
+
+    def test_stride_zero_self_traffic(self):
+        tm = shift_pattern(4, 0)
+        s, d, a = tm.network_pairs()
+        assert len(s) == 0
+
+
+class TestBitPatterns:
+    def test_bit_reversal_known_values(self):
+        tm = bit_reversal(8)
+        assert tm[1, 4] == 1.0  # 001 -> 100
+        assert tm[3, 6] == 1.0  # 011 -> 110
+        assert tm[7, 7] == 1.0  # palindrome
+
+    def test_bit_reversal_involution(self):
+        tm = bit_reversal(16)
+        dense = tm.to_dense()
+        assert np.array_equal(dense, dense.T)
+
+    def test_bit_complement(self):
+        tm = bit_complement(8)
+        assert tm[0, 7] == 1.0 and tm[5, 2] == 1.0
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TrafficError):
+            bit_reversal(12)
+        with pytest.raises(TrafficError):
+            bit_complement(6)
+
+
+class TestTranspose:
+    def test_square(self):
+        tm = transpose_pattern(16)  # 4x4 grid
+        assert tm[1, 4] == 1.0  # (0,1) -> (1,0)
+        assert tm[0, 0] == 1.0  # diagonal fixed
+
+    def test_requires_square(self):
+        with pytest.raises(TrafficError):
+            transpose_pattern(8)
+
+
+class TestHotspot:
+    def test_egress_conserved(self):
+        tm = hotspot(8, [0], hot_fraction=0.5, total_per_node=1.0)
+        rows = tm.row_sums()
+        # Node 0 can't send its hot share to itself, so it emits less.
+        assert np.allclose(rows[1:], 1.0)
+
+    def test_hot_node_ingress_dominates(self):
+        tm = hotspot(16, [3], hot_fraction=0.5)
+        cols = tm.col_sums()
+        assert cols[3] > 2 * cols[(3 + 1) % 16]
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            hotspot(8, [])
+        with pytest.raises(TrafficError):
+            hotspot(8, [9])
+        with pytest.raises(TrafficError):
+            hotspot(8, [0], hot_fraction=1.5)

@@ -1,0 +1,54 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.util.ascii_chart import AsciiChart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert AsciiChart().render() == "(empty chart)"
+
+    def test_single_series_renders_markers(self):
+        chart = AsciiChart(width=20, height=8)
+        chart.add_series("s", [0, 1, 2], [0.0, 1.0, 2.0])
+        text = chart.render(title="t", xlabel="x", ylabel="y")
+        assert "t" in text
+        assert "o" in text  # first marker
+        assert "legend: o=s" in text
+
+    def test_multiple_series_distinct_markers(self):
+        chart = AsciiChart()
+        chart.add_series("a", [0, 1], [0, 1])
+        chart.add_series("b", [0, 1], [1, 0])
+        text = chart.render()
+        assert "o=a" in text and "x=b" in text
+
+    def test_nan_points_dropped(self):
+        chart = AsciiChart()
+        chart.add_series("a", [0, 1, 2], [0.0, float("nan"), 2.0])
+        xs, ys = chart.series["a"]
+        assert xs == [0.0, 2.0]
+        assert ys == [0.0, 2.0]
+
+    def test_constant_series(self):
+        chart = AsciiChart()
+        chart.add_series("flat", [0, 1, 2], [5.0, 5.0, 5.0])
+        assert "flat" in chart.render()
+
+    def test_length_mismatch(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("a", [0, 1], [0])
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=2, height=2)
+
+    def test_axis_labels_present(self):
+        chart = AsciiChart(width=30, height=6)
+        chart.add_series("a", [1, 10], [2.0, 20.0])
+        text = chart.render(xlabel="load", ylabel="ms")
+        assert "load" in text
+        assert "ms" in text
+        assert "20" in text  # y max label

@@ -1,0 +1,87 @@
+"""Mixed-radix codec tests (scalar, vectorized, property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.radix import MixedRadix, digits_of, from_digits, prefix_products
+
+
+class TestPrefixProducts:
+    def test_basic(self):
+        assert prefix_products((4, 4, 8)) == (1, 4, 16, 128)
+
+    def test_empty(self):
+        assert prefix_products(()) == (1,)
+
+    def test_radix_one(self):
+        assert prefix_products((1, 4, 2)) == (1, 1, 4, 8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prefix_products((4, 0, 2))
+        with pytest.raises(ValueError):
+            prefix_products((-1,))
+
+
+class TestDigits:
+    def test_known_values(self):
+        assert digits_of(63, (4, 4, 4)) == (3, 3, 3)
+        assert digits_of(0, (4, 4, 4)) == (0, 0, 0)
+        assert digits_of(7, (1, 4, 2)) == (0, 3, 1)
+
+    def test_roundtrip_explicit(self):
+        radices = (3, 5, 2)
+        for v in range(3 * 5 * 2):
+            assert from_digits(digits_of(v, radices), radices) == v
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            digits_of(8, (2, 2, 2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            digits_of(-1, (2, 2))
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(ValueError):
+            from_digits((2, 0), (2, 2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            from_digits((0, 0), (2, 2, 2))
+
+
+radices_strategy = st.lists(st.integers(1, 6), min_size=1, max_size=5).map(tuple)
+
+
+class TestMixedRadixProperties:
+    @given(radices_strategy, st.data())
+    def test_roundtrip(self, radices, data):
+        mr = MixedRadix(radices)
+        value = data.draw(st.integers(0, mr.capacity - 1))
+        assert mr.encode(mr.decode(value)) == value
+
+    @given(radices_strategy)
+    def test_vectorized_matches_scalar(self, radices):
+        mr = MixedRadix(radices)
+        values = np.arange(mr.capacity)
+        decoded = mr.decode_array(values)
+        for v in range(mr.capacity):
+            assert tuple(decoded[v]) == mr.decode(v)
+        assert np.array_equal(mr.encode_array(decoded), values)
+
+    @given(radices_strategy, st.integers(0, 4))
+    def test_digit_extraction(self, radices, i):
+        mr = MixedRadix(radices)
+        if i >= len(radices):
+            return
+        values = np.arange(mr.capacity)
+        expected = np.array([mr.decode(v)[i] for v in range(mr.capacity)])
+        assert np.array_equal(mr.digit(values, i), expected)
+
+    def test_encode_array_shape_check(self):
+        mr = MixedRadix((2, 3))
+        with pytest.raises(ValueError):
+            mr.encode_array(np.zeros((4, 3), dtype=np.int64))

@@ -1,0 +1,37 @@
+"""RNG plumbing tests."""
+
+import numpy as np
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(123).integers(0, 1000, 10)
+        b = as_generator(123).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(5)
+        assert as_generator(rng) is rng
+
+
+class TestSpawnGenerators:
+    def test_children_independent_and_reproducible(self):
+        kids_a = spawn_generators(42, 3)
+        kids_b = spawn_generators(42, 3)
+        for a, b in zip(kids_a, kids_b):
+            assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_generators(42, 2)
+        assert not np.array_equal(
+            kids[0].integers(0, 2**31, 8), kids[1].integers(0, 2**31, 8)
+        )
+
+    def test_generator_seed_accepted(self):
+        kids = spawn_generators(np.random.default_rng(1), 2)
+        assert len(kids) == 2

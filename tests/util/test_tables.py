@@ -1,0 +1,36 @@
+"""ASCII table rendering tests."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["K", "load"], [[1, 4.0], [12, 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("K")
+        assert "4.000" in text and "2.500" in text
+        # All rows align to the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header may be shorter after rstrip
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], floatfmt=".1f")
+        assert "0.1" in text and "0.12" not in text
+
+    def test_mixed_types(self):
+        text = format_table(["name", "n"], [["foo", 3], ["barbaz", 12]])
+        assert "foo" in text and "barbaz" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
