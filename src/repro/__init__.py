@@ -68,9 +68,10 @@ from repro.flow import (
 # them directly): repro.flit (the VCT engine), repro.ib (LID/LFT
 # realization), repro.fabric (graph-based subnet-manager routing),
 # repro.analysis (theorem validators, exact LP ratios),
-# repro.experiments (the paper's tables and figures).
+# repro.experiments (the paper's tables and figures),
+# repro.obs (run telemetry: recorder, JSONL logs, manifests).
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -8,6 +8,12 @@ Commands
   a paper artifact (``--fidelity fast|normal|full``);
 * ``list`` — list registered experiments.
 
+Every experiment subcommand also accepts the telemetry options
+(:mod:`repro.obs`): ``--seed N`` for a reproducible invocation,
+``--log-json PATH`` to write a JSONL run log (manifest line, event
+stream, metrics line), ``--profile`` to print a timer/counter report,
+and ``--quiet`` to suppress the rendered result.
+
 Topology specs: ``mport:8x3`` (8-port 3-tree), ``kary:4x2`` (4-ary
 2-tree), or an explicit ``xgft:3;4,4,8;1,4,4``.
 """
@@ -17,8 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.errors import ReproError
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_instrumented
+from repro.obs import JsonlSink, Recorder, get_recorder, render_report, write_run
 from repro.routing.factory import available_schemes, make_scheme
 from repro.topology.variants import k_ary_n_tree, m_port_n_tree
 from repro.topology.xgft import XGFT
@@ -79,8 +87,33 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    result = run_experiment(args.experiment, fidelity_name=args.fidelity)
-    print(result.render())
+    want_obs = bool(args.log_json or args.profile)
+    rec = Recorder() if want_obs else get_recorder()
+    # Open the sink before the (possibly hours-long) run so a bad path
+    # fails immediately rather than after the experiment finished.
+    try:
+        sink = JsonlSink(args.log_json) if args.log_json else None
+    except OSError as exc:
+        print(f"error: cannot open --log-json file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run = run_instrumented(
+            args.experiment,
+            fidelity_name=args.fidelity,
+            seed=args.seed,
+            recorder=rec,
+            argv=getattr(args, "_argv", None),
+        )
+        if not args.quiet:
+            print(run.result.render())
+        if sink is not None:
+            write_run(sink, run.manifest, rec)
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.profile:
+        print(render_report(rec, title=f"run telemetry: {args.experiment} "
+                                       f"({run.manifest.wall_time_s:.2f}s)"))
     return 0
 
 
@@ -90,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Limited multi-path routing on extended generalized "
                     "fat-trees (IPDPS'12 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="describe a topology")
@@ -107,8 +142,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list experiments and schemes")
     p_list.set_defaults(func=_cmd_list)
 
+    # Telemetry/reproducibility options shared by every experiment
+    # subcommand (they go after the subcommand name).
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="experiment RNG seed (recorded in the run manifest)")
+    obs_parent.add_argument(
+        "--log-json", metavar="PATH", default=None,
+        help="write a JSONL run log: manifest, events, metrics")
+    obs_parent.add_argument(
+        "--profile", action="store_true",
+        help="print a timer/counter/convergence report after the run")
+    obs_parent.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the rendered result (use with --log-json)")
+
     for name, exp in EXPERIMENTS.items():
-        p_exp = sub.add_parser(name, help=exp.description)
+        p_exp = sub.add_parser(name, help=exp.description,
+                               parents=[obs_parent])
         p_exp.add_argument("--fidelity", choices=("fast", "normal", "full"),
                            default="normal")
         p_exp.set_defaults(func=_cmd_experiment, experiment=name)
@@ -117,7 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    args._argv = tuple(argv)
     try:
         return args.func(args)
     except ReproError as exc:

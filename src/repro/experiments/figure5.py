@@ -82,14 +82,20 @@ def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     config: FlitConfig | None = None,
     curves: tuple[str, ...] = CURVES,
+    seed: int | None = None,
 ) -> Figure5Result:
-    """Regenerate Figure 5's delay curves."""
+    """Regenerate Figure 5's delay curves.
+
+    ``seed`` overrides the workload RNG seed (ignored when an explicit
+    ``config`` already carries one).
+    """
     fid = fidelity(fidelity_name)
     xgft = topology if topology is not None else m_port_n_tree(8, 3)
     cfg = config if config is not None else FlitConfig(
         warmup_cycles=fid.warmup_cycles,
         measure_cycles=fid.measure_cycles,
         drain_cycles=fid.drain_cycles,
+        seed=seed if seed is not None else 0,
     )
     sweeps = {}
     for spec in curves:

@@ -1,11 +1,21 @@
-"""Experiment registry: names the CLI and benchmarks dispatch on."""
+"""Experiment registry: names the CLI and benchmarks dispatch on.
+
+:func:`run_experiment` is the bare dispatcher; :func:`run_instrumented`
+wraps it with the observability layer — it runs the experiment under a
+recorder (:mod:`repro.obs`) and returns an :class:`ExperimentRun`
+bundling the result with a :class:`~repro.obs.RunManifest` recording the
+invocation (experiment, fidelity, seed, argv, versions, wall time,
+sample counts) so the run is reproducible from the artifact alone.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import ReproError
+from repro.obs import RunManifest, get_recorder, use_recorder
 
 
 @dataclass(frozen=True)
@@ -105,3 +115,53 @@ def get_experiment(name: str) -> Experiment:
 def run_experiment(name: str, **kwargs):
     """Run a registered experiment and return its result object."""
     return get_experiment(name).runner(**kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """An experiment result plus its provenance and telemetry."""
+
+    name: str
+    result: object  # the experiment's result (has .render())
+    manifest: RunManifest
+    recorder: object  # the recorder the run executed under
+
+
+def run_instrumented(
+    name: str,
+    *,
+    fidelity_name: str = "normal",
+    seed: int | None = None,
+    recorder=None,
+    argv: tuple[str, ...] | None = None,
+    **kwargs,
+) -> ExperimentRun:
+    """Run an experiment under a recorder and attach a manifest.
+
+    ``seed`` is forwarded to the runner only when given, so each
+    experiment keeps its documented default; ``recorder`` defaults to
+    the ambient one and is installed as ambient for the duration, so
+    every instrumented layer (sampling rounds, the flit engine, scheme
+    construction) reports into it.
+    """
+    rec = recorder if recorder is not None else get_recorder()
+    manifest = RunManifest.create(
+        name, fidelity=fidelity_name, seed=seed,
+        argv=tuple(argv) if argv is not None else None,
+    )
+    if seed is not None:
+        kwargs["seed"] = seed
+    t0 = perf_counter()
+    with use_recorder(rec), rec.timer(f"experiment.{name}"):
+        result = run_experiment(name, fidelity_name=fidelity_name, **kwargs)
+    manifest.wall_time_s = perf_counter() - t0
+    for attr, field in (("samples_used", "samples_used"),
+                        ("topology", "topology")):
+        value = getattr(result, attr, None)
+        if value is not None:
+            setattr(manifest, field, value)
+    labels = sorted({str(e["scheme"]) for e in rec.events
+                     if "scheme" in e})
+    if labels:
+        manifest.schemes = tuple(labels)
+    return ExperimentRun(name, result, manifest, rec)

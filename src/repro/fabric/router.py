@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import RoutingError
 from repro.fabric.graph import Fabric
 from repro.fabric.ranking import FatTreeStructure, rank_fabric
+from repro.obs.recorder import get_recorder
 
 #: forwarding-table value for "destination unreachable from here"
 NO_ROUTE = -1
@@ -80,6 +81,21 @@ def route_fabric(
     """
     if n_offsets < 1:
         raise RoutingError(f"n_offsets must be >= 1, got {n_offsets}")
+    rec = get_recorder()
+    with rec.timer("fabric.route_fabric"):
+        routes = _route_fabric(fabric, n_offsets, structure)
+    if rec.enabled:
+        rec.count("fabric.tables_built")
+        rec.count("fabric.vdests_routed",
+                  fabric.n_hosts * n_offsets)
+    return routes
+
+
+def _route_fabric(
+    fabric: Fabric,
+    n_offsets: int,
+    structure: FatTreeStructure | None,
+) -> FabricRoutes:
     st = structure if structure is not None else rank_fabric(fabric)
     n_nodes = fabric.n_nodes
     n_vdest = fabric.n_hosts * n_offsets

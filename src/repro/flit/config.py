@@ -71,6 +71,11 @@ class FlitConfig:
         confines HoL blocking to fewer buffers.
     seed:
         Workload RNG seed.
+    obs_interval:
+        Telemetry observation-interval length in cycles for the
+        per-interval trace (:mod:`repro.obs`); 0 (default) derives
+        ~20 intervals from ``measure_cycles``.  Only consulted when a
+        recording recorder is active.
     """
 
     packet_flits: int = 16
@@ -85,6 +90,7 @@ class FlitConfig:
     path_selection: str = "per-packet"
     switch_model: str = "output-queued"
     seed: int = 0
+    obs_interval: int = 0
 
     def __post_init__(self):
         for name in ("packet_flits", "packets_per_message", "buffer_packets",
@@ -94,7 +100,8 @@ class FlitConfig:
         for name in ("wire_delay", "routing_delay"):
             if getattr(self, name) < 0:
                 raise SimulationError(f"{name} must be >= 0")
-        for name in ("warmup_cycles", "measure_cycles", "drain_cycles"):
+        for name in ("warmup_cycles", "measure_cycles", "drain_cycles",
+                     "obs_interval"):
             if getattr(self, name) < 0:
                 raise SimulationError(f"{name} must be >= 0")
         if self.path_selection not in PATH_SELECTION_MODES:

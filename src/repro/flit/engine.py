@@ -42,6 +42,7 @@ from repro.errors import SimulationError
 from repro.flit.config import FlitConfig
 from repro.flit.message import Message, Packet
 from repro.flit.stats import FlitRunResult, delay_stats
+from repro.obs.recorder import get_recorder
 from repro.flit.workload import Workload
 from repro.routing.base import RoutingScheme
 from repro.routing.vectorized import compile_routes
@@ -153,11 +154,21 @@ class FlitSimulator:
         return self.run(None, seed=seed, _trace=tuple(entries))
 
     def run(self, workload: Workload | None, *, seed: int | None = None,
-            _trace=None) -> FlitRunResult:
-        """Simulate ``workload`` and return window statistics."""
+            recorder=None, _trace=None) -> FlitRunResult:
+        """Simulate ``workload`` and return window statistics.
+
+        ``recorder`` (default: the ambient :func:`repro.obs.
+        get_recorder`) receives, when enabled, a ``flit_interval`` event
+        per observation interval (injected/delivered flits, credit
+        stalls, total buffer occupancy), an end-to-end message-delay
+        histogram, and run totals.  With the no-op recorder the event
+        loop pays a single integer comparison per event.
+        """
         if workload is None and _trace is None:
             raise SimulationError("need a workload or a trace")
         cfg = self.config
+        rec = recorder if recorder is not None else get_recorder()
+        record = rec.enabled
         n_procs = self._n_procs
         n_channels = self._n_channels
         rng = random.Random(cfg.seed if seed is None else seed)
@@ -222,6 +233,16 @@ class FlitSimulator:
         events = 0
         now = 0
 
+        # Telemetry: per-interval trace state.  With recording off,
+        # next_mark sits past the horizon so the per-event check is one
+        # dead integer comparison.
+        obs_interval = cfg.obs_interval or max(1, cfg.measure_cycles // 20)
+        next_mark = obs_interval if record else horizon + 1
+        interval_injected = 0   # all flits, not only measured-window ones
+        interval_delivered = 0
+        last_stalls = 0
+        credit_stalls = 0
+
         def transmit(pkt: Packet, c: int, sub: int, t: int) -> None:
             """Common bookkeeping once ``pkt`` wins output channel ``c``
             on sub-channel (VC) ``sub``."""
@@ -260,6 +281,8 @@ class FlitSimulator:
                 return
             sub = free_vc(c)
             if sub < 0:
+                nonlocal credit_stalls
+                credit_stalls += 1
                 return
             b = requests[c].pop()
             pkt: Packet = buffers[b].pop()
@@ -276,6 +299,8 @@ class FlitSimulator:
                 return
             sub = free_vc(c)
             if sub < 0:
+                nonlocal credit_stalls
+                credit_stalls += 1
                 return
             transmit(requests[c].pop(), c, sub, t)
 
@@ -298,6 +323,20 @@ class FlitSimulator:
                 break
             events += 1
 
+            while now >= next_mark:  # flush observation intervals
+                rec.event(
+                    "flit_interval",
+                    t=next_mark,
+                    injected=interval_injected,
+                    delivered=interval_delivered,
+                    credit_stalls=credit_stalls - last_stalls,
+                    occupancy=sum(len(b) for b in buffers),
+                )
+                interval_injected = 0
+                interval_delivered = 0
+                last_stalls = credit_stalls
+                next_mark += obs_interval
+
             if kind == _INJECT:
                 if type(payload) is tuple:  # trace replay: explicit dest
                     host, dst = payload
@@ -307,6 +346,8 @@ class FlitSimulator:
                     dst = workload.pick_destination(host, n_procs, rng)
                     reschedule = True
                 if dst >= 0:
+                    if record:
+                        interval_injected += cfg.message_flits
                     measured = warmup <= now < window_end
                     msg = Message(next_uid, host, dst, now,
                                   cfg.packets_per_message, measured)
@@ -353,6 +394,8 @@ class FlitSimulator:
                 serve(pkt.holding // n_vcs, now)
                 msg = pkt.message
                 msg.packets_remaining -= 1
+                if record:
+                    interval_delivered += packet_flits
                 if warmup <= now < window_end:
                     flits_delivered += packet_flits
                 if msg.packets_remaining == 0:
@@ -360,6 +403,17 @@ class FlitSimulator:
                     if msg.measured:
                         messages_completed += 1
                         delays.append(msg.delay)
+
+        if record:
+            rec.count("flit.runs", 1)
+            rec.count("flit.events", events)
+            rec.count("flit.flits_injected", flits_created)
+            rec.count("flit.flits_delivered", flits_delivered)
+            rec.count("flit.credit_stalls", credit_stalls)
+            rec.count("flit.messages_measured", messages_measured)
+            rec.count("flit.messages_completed", messages_completed)
+            for d in delays:
+                rec.observe("flit.message_delay", d)
 
         mean_delay, p95_delay, max_delay = delay_stats(delays)
         denom = cfg.measure_cycles * n_procs

@@ -16,6 +16,7 @@ from repro.flit.config import FlitConfig
 from repro.flit.engine import FlitSimulator
 from repro.flit.stats import FlitRunResult
 from repro.flit.workload import UniformRandom, Workload
+from repro.obs.recorder import get_recorder
 from repro.routing.base import RoutingScheme
 from repro.topology.xgft import XGFT
 
@@ -75,14 +76,27 @@ def load_sweep(
     the mean of each statistic).  Routes are compiled once and shared by
     all runs.
     """
+    rec = get_recorder()
     sim = FlitSimulator(xgft, scheme, config)
     results = []
     for load in (loads if loads is not None else default_loads()):
-        runs = [
-            sim.run(workload_factory(load), seed=config.seed + 1000 * rep)
-            for rep in range(repeats)
-        ]
-        results.append(_merge_runs(runs))
+        with rec.timer("flit.load_point"):
+            runs = [
+                sim.run(workload_factory(load), seed=config.seed + 1000 * rep)
+                for rep in range(repeats)
+            ]
+        merged = _merge_runs(runs)
+        if rec.enabled:
+            rec.event(
+                "flit_load_point",
+                scheme=scheme.label,
+                offered_load=merged.offered_load,
+                throughput=merged.throughput,
+                mean_delay=merged.mean_delay,
+                completion_ratio=merged.completion_ratio,
+                saturated=merged.saturated,
+            )
+        results.append(merged)
     return SweepResult(scheme.label, tuple(results))
 
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.ci import ConfidenceInterval, confidence_interval
 from repro.flow.simulator import FlowSimulator
+from repro.obs.recorder import Recorder, get_recorder, use_recorder
 from repro.routing.base import RoutingScheme
 from repro.topology.xgft import XGFT
 from repro.traffic.permutations import permutation_matrix, random_permutation
@@ -25,19 +26,32 @@ from repro.util.rng import as_generator
 
 
 def _worker_mloads(xgft: XGFT, scheme: RoutingScheme, seed: int,
-                   count: int) -> list[float]:
+                   count: int, record: bool = False):
     """Process-pool worker: sample ``count`` permutation max loads.
 
     Module-level so it pickles; every argument is a plain picklable
-    object (XGFT/schemes carry only tuples and ints).
+    object (XGFT/schemes carry only tuples and ints).  Returns
+    ``(loads, recorder_snapshot_or_None)``: when ``record`` is set the
+    worker runs under its own :class:`~repro.obs.Recorder` and ships its
+    state back for the parent to merge.
     """
     sim = FlowSimulator(xgft)
     rng = np.random.default_rng(seed)
-    return [
-        sim.max_load(scheme, permutation_matrix(
-            random_permutation(xgft.n_procs, rng)))
-        for _ in range(count)
-    ]
+
+    def draw() -> list[float]:
+        return [
+            sim.max_load(scheme, permutation_matrix(
+                random_permutation(xgft.n_procs, rng)))
+            for _ in range(count)
+        ]
+
+    if not record:
+        return draw(), None
+    rec = Recorder()
+    with use_recorder(rec), rec.timer("flow.sampling.worker"):
+        loads = draw()
+    rec.count("flow.samples", count)
+    return loads, rec.snapshot()
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,13 @@ class PermutationStudy:
         more spread each round's samples over a process pool — useful on
         the 3456-node panels where one sample costs milliseconds.
         Results are reproducible for a fixed ``(seed, n_jobs)`` pair.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  ``None`` (default) uses
+        the ambient recorder (:func:`repro.obs.get_recorder`) at run
+        time.  When recording is enabled, each adaptive round emits a
+        ``convergence_round`` event (scheme, samples, running mean, CI
+        half-width) and pool workers merge their recorder state back
+        into this one.
     """
 
     def __init__(
@@ -90,6 +111,7 @@ class PermutationStudy:
         max_samples: int = 4096,
         seed=None,
         n_jobs: int = 1,
+        recorder=None,
     ):
         if initial_samples < 2:
             raise ValueError("need at least 2 initial samples for a CI")
@@ -105,8 +127,10 @@ class PermutationStudy:
         self.max_samples = max_samples
         self.n_jobs = n_jobs
         self._seed = seed
+        self._recorder = recorder
 
-    def _mload_samples(self, scheme: RoutingScheme, count: int, rng) -> list[float]:
+    def _mload_samples(self, scheme: RoutingScheme, count: int, rng,
+                       rec) -> list[float]:
         if count <= 0:
             return []
         if self.n_jobs == 1:
@@ -114,6 +138,7 @@ class PermutationStudy:
             for _ in range(count):
                 perm = random_permutation(self.xgft.n_procs, rng)
                 out.append(self.sim.max_load(scheme, permutation_matrix(perm)))
+            rec.count("flow.samples", count)
             return out
         # Parallel: split the round into per-worker chunks with
         # independent child seeds drawn from the study's stream.
@@ -124,31 +149,54 @@ class PermutationStudy:
         out = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_worker_mloads, self.xgft, scheme, seed, chunk)
+                pool.submit(_worker_mloads, self.xgft, scheme, seed, chunk,
+                            rec.enabled)
                 for seed, chunk in zip(seeds, chunks) if chunk
             ]
             for future in futures:
-                out.extend(future.result())
+                loads, snapshot = future.result()
+                out.extend(loads)
+                if snapshot is not None:
+                    rec.merge(snapshot)
         return out
 
     def run(self, scheme: RoutingScheme) -> PermutationStudyResult:
         """Average max permutation load of ``scheme`` under the adaptive
         stopping rule."""
+        rec = self._recorder if self._recorder is not None else get_recorder()
         rng = as_generator(self._seed)
         samples: list[float] = []
         target = self.initial_samples
-        while True:
-            samples.extend(self._mload_samples(scheme, target - len(samples), rng))
-            interval = confidence_interval(samples, self.confidence)
-            if interval.meets(self.rel_precision):
-                return PermutationStudyResult(
-                    scheme.label, interval, np.asarray(samples), True
-                )
-            if len(samples) >= self.max_samples:
-                return PermutationStudyResult(
-                    scheme.label, interval, np.asarray(samples), False
-                )
-            target = min(2 * len(samples), self.max_samples)
+        round_index = 0
+        with use_recorder(rec):
+            while True:
+                with rec.timer("flow.sampling.round"):
+                    samples.extend(self._mload_samples(
+                        scheme, target - len(samples), rng, rec))
+                interval = confidence_interval(samples, self.confidence)
+                if rec.enabled:
+                    rec.event(
+                        "convergence_round",
+                        scheme=scheme.label,
+                        round=round_index,
+                        n_samples=interval.n_samples,
+                        mean=interval.mean,
+                        half_width=interval.half_width,
+                        rel_half_width=interval.relative_half_width,
+                    )
+                round_index += 1
+                if interval.meets(self.rel_precision):
+                    converged = True
+                    break
+                if len(samples) >= self.max_samples:
+                    converged = False
+                    break
+                target = min(2 * len(samples), self.max_samples)
+        if rec.enabled:
+            rec.count("flow.studies", 1)
+        return PermutationStudyResult(
+            scheme.label, interval, np.asarray(samples), converged
+        )
 
     def run_seed_family(
         self,

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.flow.loads import link_loads
 from repro.flow.metrics import max_link_load, optimal_load
+from repro.obs.recorder import get_recorder
 from repro.routing.base import RoutingScheme
 from repro.topology.xgft import XGFT
 from repro.traffic.matrix import TrafficMatrix
@@ -45,10 +46,23 @@ class FlowResult:
     ratio: float
     per_level_max: tuple[tuple[float, float], ...]
 
-    def bottleneck_level(self) -> int:
-        """Boundary level containing a maximally loaded link."""
+    def bottleneck_level(self, rel_tol: float = 1e-9) -> int:
+        """Boundary level containing a maximally loaded link.
+
+        The comparison uses a relative tolerance: per-level maxima and
+        the global maximum may come from different float summation
+        orders, so exact equality can miss the true bottleneck.
+
+        >>> import numpy as np
+        >>> third = 0.1 + 0.1 + 0.1     # 0.30000000000000004 != 0.3
+        >>> res = FlowResult(np.array([third]), third, third, 1.0,
+        ...                  ((0.25, 0.0), (0.3, 0.0)))
+        >>> res.bottleneck_level()      # exact equality would miss level 1
+        1
+        """
+        tol = rel_tol * max(abs(self.max_load), 1.0)
         for level, (up, down) in enumerate(self.per_level_max):
-            if max(up, down) == self.max_load:
+            if max(up, down) >= self.max_load - tol:
                 return level
         return 0  # pragma: no cover - empty network
 
@@ -91,4 +105,10 @@ class FlowSimulator:
 
     def max_load(self, scheme: RoutingScheme, tm: TrafficMatrix) -> float:
         """Just ``MLOAD`` — the cheap path used by the sampling loops."""
-        return max_link_load(link_loads(self.xgft, scheme, tm))
+        rec = get_recorder()
+        if not rec.enabled:
+            return max_link_load(link_loads(self.xgft, scheme, tm))
+        with rec.timer("flow.max_load"):
+            mload = max_link_load(link_loads(self.xgft, scheme, tm))
+        rec.count("flow.max_load_calls")
+        return mload

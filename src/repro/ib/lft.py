@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ResourceError, RoutingError
 from repro.ib.lid import LidAssignment, assign_lids
+from repro.obs.recorder import get_recorder
 from repro.routing.base import RoutingScheme
 from repro.routing.enumeration import PathCodec
 from repro.topology.xgft import XGFT
@@ -88,22 +89,27 @@ def compile_lfts(
         )
     if k_paths is None:
         k_paths = scheme.paths_per_pair(h)
-    lids = assign_lids(xgft, k_paths)
+    rec = get_recorder()
+    with rec.timer("ib.compile_lfts"):
+        lids = assign_lids(xgft, k_paths)
 
-    dests = np.arange(xgft.n_procs, dtype=np.int64)
-    # A representative source whose NCA with every destination is the top
-    # level (only s-mod-k / hashed schemes even look at it).
-    reps = (dests + xgft.M(h - 1)) % xgft.n_procs
-    full = scheme.path_index_matrix(reps, dests, h)  # (n, P_h)
-    offsets = np.arange(lids.lids_per_port) % full.shape[1]
-    path_index = full[:, offsets]  # (n, lids_per_port)
+        dests = np.arange(xgft.n_procs, dtype=np.int64)
+        # A representative source whose NCA with every destination is the
+        # top level (only s-mod-k / hashed schemes even look at it).
+        reps = (dests + xgft.M(h - 1)) % xgft.n_procs
+        full = scheme.path_index_matrix(reps, dests, h)  # (n, P_h)
+        offsets = np.arange(lids.lids_per_port) % full.shape[1]
+        path_index = full[:, offsets]  # (n, lids_per_port)
 
-    codec = PathCodec(xgft, h)
-    total = lids.total_lids
-    up_port = np.zeros((h, total), dtype=np.int16)
-    flat = path_index.reshape(-1)  # lid-1 -> path index
-    for l in range(h):
-        up_port[l, :] = (flat // codec.strides[l]) % xgft.w[l]
+        codec = PathCodec(xgft, h)
+        total = lids.total_lids
+        up_port = np.zeros((h, total), dtype=np.int16)
+        flat = path_index.reshape(-1)  # lid-1 -> path index
+        for l in range(h):
+            up_port[l, :] = (flat // codec.strides[l]) % xgft.w[l]
+    if rec.enabled:
+        rec.count("ib.lfts_compiled")
+        rec.count("ib.lids_assigned", lids.total_lids)
     return ForwardingTables(xgft, scheme.label, lids, up_port, path_index)
 
 

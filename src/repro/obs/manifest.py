@@ -1,0 +1,83 @@
+"""Run manifests: enough recorded context to reproduce an experiment.
+
+A :class:`RunManifest` names what ran (experiment, topology, schemes),
+how (fidelity, seed, full argv), with what (package/python versions)
+and what it cost (wall time, sample counts).  It is the first line of
+every ``--log-json`` run log and round-trips through JSON, so a recorded
+artifact is a reproducible invocation: replay with
+``xgft-repro <experiment> --fidelity <fidelity> --seed <seed>``.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one experiment run.
+
+    Fields default to ``None`` when unknown; ``finish()`` stamps the
+    wall time once the run completes.
+    """
+
+    experiment: str
+    fidelity: str | None = None
+    seed: int | None = None
+    argv: tuple[str, ...] | None = None
+    topology: str | None = None
+    schemes: tuple[str, ...] | None = None
+    samples_used: int | None = None
+    wall_time_s: float | None = None
+    version: str | None = None
+    python: str | None = None
+    platform: str | None = None
+    started_at: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, experiment: str, **fields) -> "RunManifest":
+        """Build a manifest stamped with the current environment."""
+        from repro import __version__  # local: repro.__init__ is heavy
+
+        return cls(
+            experiment=experiment,
+            version=__version__,
+            python=_platform.python_version(),
+            platform=sys.platform,
+            started_at=datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+            **fields,
+        )
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        if self.argv is not None:
+            data["argv"] = list(self.argv)
+        if self.schemes is not None:
+            data["schemes"] = list(self.schemes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        data = {k: v for k, v in data.items() if k != "type"}
+        for key in ("argv", "schemes"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+    def replay_command(self) -> str:
+        """The CLI invocation that reproduces this run.
+
+        >>> RunManifest("figure4a", fidelity="fast", seed=3).replay_command()
+        'xgft-repro figure4a --fidelity fast --seed 3'
+        """
+        parts = ["xgft-repro", self.experiment]
+        if self.fidelity is not None:
+            parts += ["--fidelity", self.fidelity]
+        if self.seed is not None:
+            parts += ["--seed", str(self.seed)]
+        return " ".join(parts)

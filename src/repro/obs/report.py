@@ -1,0 +1,127 @@
+"""Human-readable rendering of recorder state (the ``--profile`` view).
+
+Counters and timers become tables (:mod:`repro.util.tables`), the
+flow-level convergence trace becomes an :class:`~repro.util.ascii_chart.
+AsciiChart` of running mean vs samples, and per-interval flit series and
+CI half-widths become compact unicode sparklines.
+"""
+
+from __future__ import annotations
+
+from repro.util.ascii_chart import AsciiChart
+from repro.util.tables import format_table
+
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """One-line bar chart of a numeric sequence.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    >>> sparkline([])
+    ''
+    """
+    vals = [float(v) for v in values if v == v]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span == 0.0:
+        return _SPARK_BARS[0] * len(vals)
+    top = len(_SPARK_BARS) - 1
+    return "".join(
+        _SPARK_BARS[round((v - lo) / span * top)] for v in vals
+    )
+
+
+def _timer_rows(recorder) -> list[list]:
+    rows = []
+    for name, (total, calls) in sorted(
+        recorder.timers.items(), key=lambda kv: -kv[1][0]
+    ):
+        rows.append([name, calls, f"{total:.4f}", f"{total / calls * 1e3:.3f}"])
+    return rows
+
+
+def _hist_rows(recorder) -> list[list]:
+    rows = []
+    for name, hist in sorted(recorder.hists.items()):
+        rows.append([
+            name, hist.count, f"{hist.mean:.3f}", f"{hist.vmin:.3f}",
+            f"{hist.quantile(0.5):.3f}", f"{hist.quantile(0.95):.3f}",
+            f"{hist.vmax:.3f}",
+        ])
+    return rows
+
+
+def _convergence_section(recorder) -> str:
+    rounds = recorder.events_of("convergence_round")
+    if not rounds:
+        return ""
+    by_scheme: dict[str, list[dict]] = {}
+    for ev in rounds:
+        by_scheme.setdefault(str(ev.get("scheme", "?")), []).append(ev)
+
+    lines = ["convergence (CI half-width per round, first -> last):"]
+    chart = AsciiChart(width=56, height=10)
+    chartable = 0
+    for scheme, evs in by_scheme.items():
+        widths = [e.get("rel_half_width", float("nan")) for e in evs]
+        final = evs[-1]
+        lines.append(
+            f"  {scheme:<16s} {sparkline(widths):<10s} "
+            f"rounds={len(evs)} samples={final.get('n_samples')} "
+            f"mean={final.get('mean'):.4f}"
+        )
+        xs = [e.get("n_samples") for e in evs]
+        ys = [e.get("mean") for e in evs]
+        if len(xs) >= 2:
+            chart.add_series(scheme, xs, ys)
+            chartable += 1
+    out = "\n".join(lines)
+    if chartable:
+        out += "\n" + chart.render(xlabel="samples", ylabel="mean")
+    return out
+
+
+def _flit_section(recorder) -> str:
+    intervals = recorder.events_of("flit_interval")
+    if not intervals:
+        return ""
+    delivered = [e.get("delivered", 0) for e in intervals]
+    injected = [e.get("injected", 0) for e in intervals]
+    stalls = [e.get("credit_stalls", 0) for e in intervals]
+    occupancy = [e.get("occupancy", 0) for e in intervals]
+    return "\n".join([
+        f"flit engine ({len(intervals)} interval(s)):",
+        f"  injected/interval  {sparkline(injected)}  max={max(injected)}",
+        f"  delivered/interval {sparkline(delivered)}  max={max(delivered)}",
+        f"  credit stalls      {sparkline(stalls)}  total={sum(stalls)}",
+        f"  buffer occupancy   {sparkline(occupancy)}  max={max(occupancy)}",
+    ])
+
+
+def render_report(recorder, *, title: str = "run telemetry") -> str:
+    """Render every populated recorder dimension as one text report."""
+    sections = [title]
+    if recorder.timers:
+        sections.append(format_table(
+            ["timer", "calls", "total s", "mean ms"], _timer_rows(recorder),
+            title="timers",
+        ))
+    if recorder.counters:
+        rows = [[k, f"{v:g}"] for k, v in sorted(recorder.counters.items())]
+        sections.append(format_table(["counter", "value"], rows,
+                                     title="counters"))
+    if recorder.hists:
+        sections.append(format_table(
+            ["histogram", "n", "mean", "min", "p50~", "p95~", "max"],
+            _hist_rows(recorder), title="histograms (~ = bucket estimate)",
+        ))
+    for section in (_convergence_section(recorder), _flit_section(recorder)):
+        if section:
+            sections.append(section)
+    if len(sections) == 1:
+        sections.append("(recorder is empty)")
+    return "\n\n".join(sections)

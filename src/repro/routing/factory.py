@@ -7,6 +7,7 @@ with a path limit, e.g. ``"d-mod-k"``, ``"disjoint:4"``, ``"random:8"``.
 from __future__ import annotations
 
 from repro.errors import RoutingError
+from repro.obs.recorder import get_recorder
 from repro.routing.base import RoutingScheme
 from repro.routing.heuristics import (
     Disjoint,
@@ -70,14 +71,18 @@ def make_scheme(
             raise RoutingError(f"bad path limit in spec {spec!r}") from None
         if k_paths is None:
             k_paths = suffix_k
-    if takes_k:
-        if k_paths is None:
-            raise RoutingError(f"scheme {name!r} needs a path limit, e.g. '{name}:4'")
-        if takes_seed:
-            return cls(xgft, k_paths, seed=seed)
-        return cls(xgft, k_paths)
-    if k_paths is not None:
+    if takes_k and k_paths is None:
+        raise RoutingError(f"scheme {name!r} needs a path limit, e.g. '{name}:4'")
+    if not takes_k and k_paths is not None:
         raise RoutingError(f"scheme {name!r} does not take a path limit")
-    if takes_seed:
-        return cls(xgft, seed=seed)
-    return cls(xgft)
+
+    rec = get_recorder()
+    with rec.timer("routing.make_scheme"):
+        if takes_k:
+            scheme = cls(xgft, k_paths, seed=seed) if takes_seed \
+                else cls(xgft, k_paths)
+        else:
+            scheme = cls(xgft, seed=seed) if takes_seed else cls(xgft)
+    if rec.enabled:
+        rec.count("routing.schemes_built")
+    return scheme

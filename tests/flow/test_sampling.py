@@ -96,3 +96,51 @@ class TestValidation:
             PermutationStudy(tree8x2, initial_samples=8, max_samples=4)
         with pytest.raises(ValueError):
             PermutationStudy(tree8x2, n_jobs=0)
+
+
+class TestTelemetry:
+    def test_convergence_trace(self, tree8x2):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=16,
+                                 rel_precision=-1.0, seed=5, recorder=rec)
+        res = study.run(make_scheme(tree8x2, "d-mod-k"))
+        rounds = rec.events_of("convergence_round")
+        # 4 -> 8 -> 16 samples: one event per adaptive round.
+        assert [e["n_samples"] for e in rounds] == [4, 8, 16]
+        assert [e["round"] for e in rounds] == [0, 1, 2]
+        assert rounds[-1]["mean"] == pytest.approx(res.mean)
+        assert rounds[-1]["half_width"] == pytest.approx(
+            res.interval.half_width)
+        assert all(e["scheme"] == "d-mod-k" for e in rounds)
+        assert rec.counters["flow.samples"] == 16
+        assert "flow.sampling.round" in rec.timers
+        assert rec.timers["flow.sampling.round"][1] == 3
+
+    def test_cross_process_merge(self, tree8x2):
+        """Pool workers run under their own recorder; the parent merges
+        their counters/timers back, so totals match the serial path."""
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        study = PermutationStudy(tree8x2, initial_samples=12, max_samples=12,
+                                 rel_precision=1.0, seed=7, n_jobs=3,
+                                 recorder=rec)
+        res = study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert res.interval.n_samples == 12
+        assert rec.counters["flow.samples"] == 12
+        # Worker-side spans arrive via snapshot merge.
+        assert rec.timers["flow.sampling.worker"][1] == 3
+        per_sample = [name for name in rec.timers if "flow.max_load" in name]
+        assert sum(rec.timers[n][1] for n in per_sample) == 12
+
+    def test_parallel_disabled_recorder_ships_no_snapshots(self, tree8x2):
+        from repro.obs import NULL_RECORDER
+
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=4,
+                                 rel_precision=1.0, seed=7, n_jobs=2,
+                                 recorder=NULL_RECORDER)
+        res = study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert res.interval.n_samples == 4
+        assert NULL_RECORDER.counters == {}

@@ -1,0 +1,76 @@
+"""JSONL sink: round trips, numpy coercion, the standard run log."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonlSink, Recorder, RunManifest, read_jsonl, write_run
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        objs = [{"type": "a", "x": 1}, {"type": "b", "nested": {"y": [1, 2]}}]
+        with JsonlSink(path) as sink:
+            for obj in objs:
+                sink.write(obj)
+        assert read_jsonl(path) == objs
+
+    def test_one_object_per_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"a": 1})
+            sink.write({"b": 2})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"f": np.float64(1.5), "i": np.int64(7)})
+        [obj] = read_jsonl(path)
+        assert obj == {"f": 1.5, "i": 7}
+        assert isinstance(obj["i"], int)
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "run.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write({"a": 1})
+
+
+class TestWriteRun:
+    def test_standard_log_shape(self, tmp_path):
+        rec = Recorder()
+        rec.count("n", 3)
+        rec.event("convergence_round", scheme="d-mod-k", n_samples=8,
+                  mean=2.5)
+        with rec.timer("t"):
+            pass
+        manifest = RunManifest.create("figure4a", fidelity="fast", seed=1)
+        manifest.wall_time_s = 0.5
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            write_run(sink, manifest, rec)
+
+        lines = read_jsonl(path)
+        assert lines[0]["type"] == "manifest"
+        assert lines[0]["experiment"] == "figure4a"
+        assert lines[0]["seed"] == 1
+        assert lines[1] == {"type": "convergence_round", "scheme": "d-mod-k",
+                            "n_samples": 8, "mean": 2.5}
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["counters"] == {"n": 3}
+        assert lines[-1]["timers"]["t"]["calls"] == 1
+
+    def test_manifest_round_trips_through_log(self, tmp_path):
+        manifest = RunManifest.create(
+            "table1", fidelity="normal", seed=9,
+            argv=("table1", "--seed", "9"))
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            write_run(sink, manifest, Recorder())
+        back = RunManifest.from_dict(read_jsonl(path)[0])
+        assert back == manifest

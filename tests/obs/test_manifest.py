@@ -1,0 +1,53 @@
+"""Run manifests: environment stamping and JSON round trips."""
+
+import json
+
+import repro
+from repro.obs import RunManifest
+
+
+class TestCreate:
+    def test_stamps_environment(self):
+        m = RunManifest.create("figure4a")
+        assert m.version == repro.__version__
+        assert m.python.count(".") == 2
+        assert m.started_at is not None
+        assert m.wall_time_s is None
+
+    def test_fields_pass_through(self):
+        m = RunManifest.create("figure5", fidelity="full", seed=3,
+                               argv=("figure5", "--fidelity", "full"))
+        assert m.fidelity == "full"
+        assert m.seed == 3
+        assert m.argv == ("figure5", "--fidelity", "full")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        m = RunManifest.create("table1", seed=2, argv=("table1",),
+                               schemes=("d-mod-k", "disjoint(4)"))
+        m.wall_time_s = 1.25
+        m.samples_used = 512
+        assert RunManifest.from_dict(m.to_dict()) == m
+
+    def test_json_round_trip_drops_nothing(self):
+        m = RunManifest.create("figure4b", fidelity="fast", seed=7)
+        m.extra["note"] = "demo"
+        wire = json.loads(json.dumps(m.to_dict()))
+        assert RunManifest.from_dict(wire) == m
+
+    def test_from_dict_ignores_type_tag(self):
+        m = RunManifest.create("theorems")
+        data = {"type": "manifest", **m.to_dict()}
+        assert RunManifest.from_dict(data) == m
+
+
+class TestReplayCommand:
+    def test_includes_fidelity_and_seed(self):
+        m = RunManifest("figure4a", fidelity="fast", seed=3)
+        assert m.replay_command() == \
+            "xgft-repro figure4a --fidelity fast --seed 3"
+
+    def test_omits_unknowns(self):
+        assert RunManifest("theorems").replay_command() == \
+            "xgft-repro theorems"

@@ -1,0 +1,59 @@
+"""Profile-report rendering: sparklines and section assembly."""
+
+from repro.obs import Recorder, render_report, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([float("nan")]) == ""
+        assert len(sparkline([1.0, float("nan"), 2.0])) == 2
+
+
+class TestRenderReport:
+    def test_empty_recorder(self):
+        assert "(recorder is empty)" in render_report(Recorder())
+
+    def test_sections_present(self):
+        rec = Recorder()
+        rec.count("flow.samples", 128)
+        with rec.timer("experiment.figure4a"):
+            pass
+        rec.observe("flit.message_delay", 120.0)
+        out = render_report(rec, title="my run")
+        assert "my run" in out
+        assert "timers" in out and "experiment.figure4a" in out
+        assert "counters" in out and "flow.samples" in out
+        assert "histograms" in out and "flit.message_delay" in out
+
+    def test_convergence_section(self):
+        rec = Recorder()
+        for i, (n, mean, rel) in enumerate(
+            [(8, 3.9, 0.2), (16, 3.8, 0.08), (32, 3.75, 0.009)]
+        ):
+            rec.event("convergence_round", scheme="d-mod-k", round=i,
+                      n_samples=n, mean=mean, half_width=rel * mean,
+                      rel_half_width=rel)
+        out = render_report(rec)
+        assert "convergence" in out
+        assert "d-mod-k" in out
+        assert "samples=32" in out
+        assert "mean=3.7500" in out
+
+    def test_flit_section(self):
+        rec = Recorder()
+        for t, (inj, dlv, stalls, occ) in enumerate(
+            [(100, 90, 0, 5), (110, 100, 3, 9), (95, 105, 1, 4)]
+        ):
+            rec.event("flit_interval", t=(t + 1) * 50, injected=inj,
+                      delivered=dlv, credit_stalls=stalls, occupancy=occ)
+        out = render_report(rec)
+        assert "flit engine (3 interval(s))" in out
+        assert "credit stalls" in out and "total=4" in out
+        assert "buffer occupancy" in out and "max=9" in out

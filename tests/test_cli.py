@@ -51,3 +51,68 @@ class TestCommands:
 
     def test_route_error(self, capsys):
         assert main(["route", "mport:8x2", "nosuchscheme", "0", "1"]) == 2
+
+
+class TestGlobalOptions:
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_quiet_suppresses_render(self, capsys):
+        assert main(["theorems", "--quiet"]) == 0
+        assert "ALL HOLD" not in capsys.readouterr().out
+
+    def test_profile_report(self, capsys):
+        assert main(["theorems", "--profile", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "run telemetry" in out
+        assert "experiment.theorems" in out
+        assert "routing.schemes_built" in out
+
+    def test_log_json_run_log(self, tmp_path, capsys):
+        """The acceptance path: a manifest line plus per-round
+        convergence events that parse as JSON and match the result."""
+        import json
+
+        from repro.obs import RunManifest
+
+        path = tmp_path / "run.jsonl"
+        assert main(["figure4a", "--fidelity", "fast", "--seed", "3",
+                     "--log-json", str(path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "Figure 4(a)" in rendered
+
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        manifest = RunManifest.from_dict(lines[0])
+        assert lines[0]["type"] == "manifest"
+        assert manifest.experiment == "figure4a"
+        assert manifest.fidelity == "fast"
+        assert manifest.seed == 3
+        assert manifest.argv is not None and "--seed" in manifest.argv
+        assert manifest.wall_time_s > 0
+        assert manifest.samples_used > 0
+        assert "d-mod-k" in manifest.schemes
+
+        rounds = [l for l in lines if l["type"] == "convergence_round"]
+        assert rounds, "expected per-round convergence events"
+        # The d-mod-k study's final running mean is the printed value.
+        dmodk_mean = [r["mean"] for r in rounds if r["scheme"] == "d-mod-k"][-1]
+        assert f"{dmodk_mean:.3f}" in rendered
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["counters"]["flow.samples"] == manifest.samples_used
+
+    def test_seed_recorded_and_plumbed(self, tmp_path):
+        import json
+
+        def manifest_for(seed):
+            path = tmp_path / f"run{seed}.jsonl"
+            assert main(["resources", "--seed", str(seed), "--quiet",
+                         "--log-json", str(path)]) == 0
+            return json.loads(path.read_text().splitlines()[0])
+
+        assert manifest_for(1)["seed"] == 1
+        assert manifest_for(2)["seed"] == 2
