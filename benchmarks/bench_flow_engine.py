@@ -1,0 +1,168 @@
+"""Reference vs compiled flow engine: permutations per second.
+
+Times the permutation-MLOAD hot path both ways on one topology —
+
+* **reference**: the per-matrix closed-form evaluator
+  (:func:`repro.flow.loads.link_loads`), one permutation at a time;
+* **compiled**: :func:`repro.routing.compiled.compile_scheme` once, then
+  :meth:`repro.flow.engine.BatchFlowEngine.permutation_mloads` over the
+  whole batch —
+
+verifies both engines agree to 1e-9 on every sample, and writes a JSON
+report (``BENCH_flow.json``) with permutations/sec per scheme and the
+speedup.  The acceptance bar for the compiled engine is a >= 5x speedup
+on the default ``mport:8x3`` study.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flow_engine.py \
+        [--topology mport:8x3] [--samples 256] [--smoke] \
+        [--out BENCH_flow.json]
+
+``--smoke`` shrinks the sample count so CI finishes in seconds; the
+parity check still runs at full strength.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+import numpy as np
+
+from repro import __version__
+from repro.cli import parse_topology
+from repro.flow.engine import BatchFlowEngine
+from repro.flow.loads import link_loads
+from repro.flow.metrics import max_link_load
+from repro.routing.compiled import compile_scheme
+from repro.routing.factory import make_scheme
+from repro.traffic.permutations import permutation_matrix, random_permutation
+
+SCHEME_SPECS = ("d-mod-k", "shift-1:4", "disjoint:4", "random:4", "umulti")
+
+
+def _best_of(fn, rounds: int):
+    """Minimum wall time over several rounds (robust to scheduler noise);
+    returns ``(seconds, last_result)``."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - t0)
+    return best, result
+
+
+def bench_scheme(xgft, spec: str, samples: int, seed: int,
+                 rounds: int = 3) -> dict:
+    """Time both engines on the same permutation batch; return the row."""
+    scheme = make_scheme(xgft, spec, seed=seed)
+    rng = np.random.default_rng(seed)
+    perms = np.stack([random_permutation(xgft.n_procs, rng)
+                      for _ in range(samples)])
+
+    # Warm both paths (page faults, lazy caches) outside the timings.
+    max_link_load(link_loads(xgft, scheme, permutation_matrix(perms[0])))
+    BatchFlowEngine(compile_scheme(xgft, scheme)).permutation_mloads(perms[:2])
+
+    t_ref, ref = _best_of(lambda: np.array([
+        max_link_load(link_loads(xgft, scheme, permutation_matrix(p)))
+        for p in perms
+    ]), rounds)
+
+    # One-off cost: route compilation plus engine table setup.
+    t_compile, engine = _best_of(
+        lambda: BatchFlowEngine(compile_scheme(xgft, scheme)), rounds)
+    t_batch, batch = _best_of(
+        lambda: engine.permutation_mloads(perms), rounds)
+
+    parity = bool(np.allclose(batch, ref, atol=1e-9))
+    t_compiled_total = t_compile + t_batch
+    return {
+        "scheme": scheme.label,
+        "samples": samples,
+        "parity_ok": parity,
+        "max_abs_diff": float(np.abs(batch - ref).max()),
+        "reference_s": t_ref,
+        "compile_s": t_compile,
+        "batch_eval_s": t_batch,
+        "reference_perms_per_s": samples / t_ref if t_ref > 0 else float("inf"),
+        "compiled_perms_per_s": (samples / t_batch if t_batch > 0
+                                 else float("inf")),
+        # Steady-state throughput ratio: what a study sees once the
+        # one-off compile is amortized over its thousands of samples.
+        "eval_speedup": t_ref / t_batch if t_batch > 0 else float("inf"),
+        # End-to-end speedup including the one-off compile.
+        "speedup": t_ref / t_compiled_total if t_compiled_total > 0
+                   else float("inf"),
+        "plan_nbytes": engine.plan.nbytes,
+    }
+
+
+def run(topology_spec: str, samples: int, seed: int, out: str | None) -> dict:
+    xgft = parse_topology(topology_spec)
+    rows = [bench_scheme(xgft, spec, samples, seed) for spec in SCHEME_SPECS]
+    report = {
+        "benchmark": "flow_engine",
+        "version": __version__,
+        "topology": repr(xgft),
+        "n_procs": xgft.n_procs,
+        "n_links": xgft.n_links,
+        "samples": samples,
+        "seed": seed,
+        "results": rows,
+        "min_eval_speedup": min(r["eval_speedup"] for r in rows),
+        "min_end_to_end_speedup": min(r["speedup"] for r in rows),
+        # Study-scale view: total permutations over total time per engine.
+        "study_speedup": (sum(r["reference_s"] for r in rows)
+                          / sum(r["compile_s"] + r["batch_eval_s"]
+                                for r in rows)),
+        "all_parity_ok": all(r["parity_ok"] for r in rows),
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="mport:8x3",
+                        help="topology spec (default: mport:8x3, 128 nodes)")
+    parser.add_argument("--samples", type=int, default=256,
+                        help="permutations per scheme (default 256)")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sample count for CI (implies --samples 64)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here (e.g. BENCH_flow.json)")
+    args = parser.parse_args(argv)
+    samples = 64 if args.smoke else args.samples
+
+    report = run(args.topology, samples, args.seed, args.out)
+    print(f"flow engine bench: {report['topology']} "
+          f"({report['n_procs']} nodes, {samples} perms/scheme)")
+    header = f"{'scheme':<14} {'ref perm/s':>12} {'compiled perm/s':>16} " \
+             f"{'eval':>6} {'e2e':>6}  parity"
+    print(header)
+    for r in report["results"]:
+        print(f"{r['scheme']:<14} {r['reference_perms_per_s']:>12.1f} "
+              f"{r['compiled_perms_per_s']:>16.1f} "
+              f"{r['eval_speedup']:>5.1f}x {r['speedup']:>5.1f}x  "
+              f"{'ok' if r['parity_ok'] else 'FAIL'}")
+    print(f"min eval speedup: {report['min_eval_speedup']:.1f}x   "
+          f"(end-to-end incl. one-off compile: "
+          f"{report['min_end_to_end_speedup']:.1f}x, "
+          f"whole study {report['study_speedup']:.1f}x)")
+
+    if not report["all_parity_ok"]:
+        print("error: engine parity violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

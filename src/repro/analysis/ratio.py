@@ -38,14 +38,36 @@ def worst_case_permutation(
     *,
     samples: int = 200,
     seed=None,
+    engine: str = "reference",
 ) -> tuple[float, np.ndarray]:
     """The worst performance ratio among ``samples`` random permutations;
-    returns ``(ratio, permutation)``."""
+    returns ``(ratio, permutation)``.
+
+    Both engines draw the identical permutation stream for a fixed
+    ``seed``; ``"compiled"`` evaluates all MLOADs in one batched call.
+    """
     rng = as_generator(seed)
+    n = xgft.n_procs
+    perms = [random_permutation(n, rng) for _ in range(samples)]
+    if not perms:
+        return 0.0, np.arange(n)
+    if engine == "compiled":
+        # Local imports: repro.flow imports this module's package peers.
+        from repro.flow.engine import BatchFlowEngine
+        from repro.flow.metrics import max_link_load, optimal_load
+        from repro.routing.compiled import compile_scheme
+
+        mloads = BatchFlowEngine(compile_scheme(xgft, scheme)) \
+            .permutation_mloads(np.stack(perms))
+        ratios = np.empty(len(perms))
+        for i, perm in enumerate(perms):
+            opt = optimal_load(xgft, permutation_matrix(perm))
+            ratios[i] = mloads[i] / opt if opt > 0 else 1.0
+        best = int(np.argmax(ratios))
+        return float(ratios[best]), perms[best]
     best = 0.0
-    best_perm = np.arange(xgft.n_procs)
-    for _ in range(samples):
-        perm = random_permutation(xgft.n_procs, rng)
+    best_perm = np.arange(n)
+    for perm in perms:
         ratio = performance_ratio(xgft, scheme, permutation_matrix(perm))
         if ratio > best:
             best, best_perm = ratio, perm
@@ -58,11 +80,14 @@ def empirical_oblivious_ratio(
     *,
     permutation_samples: int = 100,
     seed=None,
+    engine: str = "reference",
 ) -> RatioEstimate:
     """Search hard traffic instances for the largest performance ratio.
 
     This is a *lower bound* on ``PERF(scheme)``; for UMULTI it returns
-    1.0 exactly (Theorem 1).
+    1.0 exactly (Theorem 1).  ``engine`` selects the evaluator for the
+    random-permutation sweep (the handful of structured candidates stay
+    on the closed-form path either way).
     """
     candidates: list[tuple[str, TrafficMatrix]] = []
     n = xgft.n_procs
@@ -82,7 +107,7 @@ def empirical_oblivious_ratio(
             best = RatioEstimate(ratio, name)
 
     perm_ratio, _ = worst_case_permutation(
-        xgft, scheme, samples=permutation_samples, seed=seed
+        xgft, scheme, samples=permutation_samples, seed=seed, engine=engine
     )
     if perm_ratio > best.ratio:
         best = RatioEstimate(perm_ratio, "random permutation")

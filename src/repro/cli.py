@@ -12,7 +12,9 @@ Every experiment subcommand also accepts the telemetry options
 (:mod:`repro.obs`): ``--seed N`` for a reproducible invocation,
 ``--log-json PATH`` to write a JSONL run log (manifest line, event
 stream, metrics line), ``--profile`` to print a timer/counter report,
-and ``--quiet`` to suppress the rendered result.
+and ``--quiet`` to suppress the rendered result.  Flow-level permutation
+experiments additionally accept ``--engine {reference,compiled}`` to pick
+the evaluator (compiled = compile routes once, batch-evaluate rounds).
 
 Topology specs: ``mport:8x3`` (8-port 3-tree), ``kary:4x2`` (4-ary
 2-tree), or an explicit ``xgft:3;4,4,8;1,4,4``.
@@ -103,6 +105,7 @@ def _cmd_experiment(args) -> int:
             seed=args.seed,
             recorder=rec,
             argv=getattr(args, "_argv", None),
+            engine=args.engine,
         )
         if not args.quiet:
             print(run.result.render())
@@ -157,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parent.add_argument(
         "--quiet", action="store_true",
         help="suppress the rendered result (use with --log-json)")
+    obs_parent.add_argument(
+        "--engine", choices=("reference", "compiled"), default=None,
+        help="flow evaluator: re-derive routes per matrix (reference) or "
+             "compile once and batch-evaluate (compiled); only flow-level "
+             "permutation experiments accept a non-default engine")
 
     for name, exp in EXPERIMENTS.items():
         p_exp = sub.add_parser(name, help=exp.description,

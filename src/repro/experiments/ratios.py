@@ -45,6 +45,7 @@ def run(
     ks: tuple[int, ...] = (2, 4),
     permutation_samples: int = 60,
     seed: int = 11,
+    engine: str = "reference",
     **_ignored,
 ) -> RatiosResult:
     """Tabulate ratio lower bounds per scheme on one topology."""
@@ -63,7 +64,8 @@ def run(
     for spec in specs:
         scheme = make_scheme(xgft, spec, seed=seed)
         est = empirical_oblivious_ratio(
-            xgft, scheme, permutation_samples=permutation_samples, seed=seed
+            xgft, scheme, permutation_samples=permutation_samples, seed=seed,
+            engine=engine,
         )
         best, witness = est.ratio, est.witness
         if adv is not None:

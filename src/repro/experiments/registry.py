@@ -20,11 +20,17 @@ from repro.obs import RunManifest, get_recorder, use_recorder
 
 @dataclass(frozen=True)
 class Experiment:
-    """A named, runnable reproduction target."""
+    """A named, runnable reproduction target.
+
+    ``engine_aware`` marks experiments whose runner accepts the
+    ``engine`` keyword (flow-level permutation studies); the CLI's
+    ``--engine`` flag is only forwarded to those.
+    """
 
     name: str
     description: str
     runner: Callable[..., object]  # returns a result with .render()
+    engine_aware: bool = False
 
 
 def _figure4_runner(panel: str):
@@ -78,6 +84,7 @@ EXPERIMENTS: dict[str, Experiment] = {
             f"figure4{p}",
             f"Figure 4({p}): avg max permutation load vs K",
             _figure4_runner(p),
+            engine_aware=True,
         )
         for p in "abcd"
     },
@@ -94,7 +101,8 @@ EXPERIMENTS: dict[str, Experiment] = {
         "resources", "InfiniBand LID budget vs path limit (motivation)", _resources
     ),
     "ratios": Experiment(
-        "ratios", "empirical oblivious-ratio lower bounds per scheme", _ratios
+        "ratios", "empirical oblivious-ratio lower bounds per scheme", _ratios,
+        engine_aware=True,
     ),
     "exact-ratios": Experiment(
         "exact-ratios", "exact oblivious ratios via LP (small trees)",
@@ -134,6 +142,7 @@ def run_instrumented(
     seed: int | None = None,
     recorder=None,
     argv: tuple[str, ...] | None = None,
+    engine: str | None = None,
     **kwargs,
 ) -> ExperimentRun:
     """Run an experiment under a recorder and attach a manifest.
@@ -142,9 +151,20 @@ def run_instrumented(
     experiment keeps its documented default; ``recorder`` defaults to
     the ambient one and is installed as ambient for the duration, so
     every instrumented layer (sampling rounds, the flit engine, scheme
-    construction) reports into it.
+    construction) reports into it.  ``engine`` (``"reference"`` /
+    ``"compiled"``) is forwarded only to engine-aware experiments;
+    requesting a non-reference engine anywhere else is an error rather
+    than a silent no-op.
     """
     rec = recorder if recorder is not None else get_recorder()
+    experiment = get_experiment(name)
+    if engine is not None:
+        if experiment.engine_aware:
+            kwargs["engine"] = engine
+        elif engine != "reference":
+            raise ReproError(
+                f"experiment {name!r} does not support --engine {engine}"
+            )
     manifest = RunManifest.create(
         name, fidelity=fidelity_name, seed=seed,
         argv=tuple(argv) if argv is not None else None,

@@ -101,13 +101,22 @@ class FlitSimulator:
     True
     """
 
-    def __init__(self, xgft: XGFT, scheme: RoutingScheme, config: FlitConfig):
+    def __init__(self, xgft: XGFT, scheme: RoutingScheme, config: FlitConfig,
+                 *, compiled=None):
         if scheme.xgft != xgft:
             raise SimulationError("scheme was built for a different topology")
         self.xgft = xgft
         self.scheme = scheme
         self.config = config
-        self.routes = compile_routes(xgft, scheme)
+        if compiled is not None:
+            # Reuse an existing compiled plan's incidence instead of
+            # re-deriving every pair's link sequence.
+            if compiled.xgft != xgft:
+                raise SimulationError(
+                    "compiled plan was built for a different topology")
+            self.routes = compiled.route_table()
+        else:
+            self.routes = compile_routes(xgft, scheme)
         self._n_procs = xgft.n_procs
         self._n_channels = xgft.n_links
 

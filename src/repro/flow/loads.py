@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.routing.base import RoutingScheme
-from repro.routing.enumeration import PathCodec
+from repro.routing.enumeration import path_codec
 from repro.topology.xgft import XGFT
 from repro.traffic.matrix import TrafficMatrix
 
@@ -31,7 +31,7 @@ def _accumulate_group(
     idx = scheme.path_index_matrix(s, d, k)  # (n, P)
     frac = scheme.fractions(k)  # (P,)
     weights = (amount[:, None] * frac[None, :]).ravel()
-    codec = PathCodec(xgft, k)
+    codec = path_codec(xgft, k)
 
     # Accumulated low digits sum_{j<l} p_j W(j), per (pair, path).
     low = np.zeros_like(idx)

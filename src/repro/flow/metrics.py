@@ -60,6 +60,32 @@ def optimal_load(xgft: XGFT, tm: TrafficMatrix) -> float:
     return ml_lower_bound(xgft, tm)
 
 
+def permutation_optimal_load(xgft: XGFT) -> float:
+    """``OLOAD`` of unit-traffic permutation traffic, computed once.
+
+    For a (non-identity) permutation every node sends and receives at
+    most one unit, so the height-``k`` term of Lemma 1 is at most
+    ``M(k) / W(k+1)`` and the terminal term is exactly ``1 / w_1``.  The
+    witness realizing every bound simultaneously is the cyclic shift by
+    ``M(h-1)``: it moves each node's top digit, so every subtree at
+    every height ``k < h`` exports all of its ``M(k)`` units.  On the
+    paper's topologies (``M(k) <= W(k+1) / w_1``, e.g. every m-port
+    n-tree) the terminal term dominates and *every* non-identity
+    permutation attains the same OLOAD — which is why permutation
+    studies hoist this value out of the per-sample loop.
+
+    >>> from repro.topology import m_port_n_tree
+    >>> permutation_optimal_load(m_port_n_tree(8, 3))
+    1.0
+    """
+    from repro.traffic.synthetic import shift_pattern  # local: avoid cycle
+
+    if xgft.h == 0 or xgft.n_procs < 2:
+        return 0.0
+    stride = xgft.M(xgft.h - 1)
+    return optimal_load(xgft, shift_pattern(xgft.n_procs, stride))
+
+
 def load_imbalance(loads: np.ndarray) -> float:
     """Coefficient of variation of the *used* links' loads.
 

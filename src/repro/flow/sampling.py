@@ -6,6 +6,17 @@ is within 1 % of the running average (doubling the sample count each
 round, per Section 5).  Randomized routing schemes are averaged over
 several seeds, matching "the results are the average of five random
 seeds".
+
+Engines
+-------
+With ``engine="compiled"`` the scheme is compiled once per study run
+(:func:`repro.routing.compiled.compile_scheme`) and each adaptive round
+is evaluated as one batched call
+(:meth:`repro.flow.engine.BatchFlowEngine.permutation_mloads`); with
+``n_jobs > 1`` the *compiled plan* — not the scheme — ships to the pool
+workers, so workers skip route construction entirely.  Both engines
+consume the identical permutation stream for a fixed seed, so their
+samples agree to float tolerance.
 """
 
 from __future__ import annotations
@@ -17,9 +28,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis.ci import ConfidenceInterval, confidence_interval
-from repro.flow.simulator import FlowSimulator
+from repro.flow.engine import BatchFlowEngine
+from repro.flow.metrics import permutation_optimal_load
+from repro.flow.simulator import ENGINES, FlowSimulator
 from repro.obs.recorder import Recorder, get_recorder, use_recorder
 from repro.routing.base import RoutingScheme
+from repro.routing.compiled import CompiledScheme, compile_scheme
 from repro.topology.xgft import XGFT
 from repro.traffic.permutations import permutation_matrix, random_permutation
 from repro.util.rng import as_generator
@@ -54,22 +68,59 @@ def _worker_mloads(xgft: XGFT, scheme: RoutingScheme, seed: int,
     return loads, rec.snapshot()
 
 
+def _worker_batch_mloads(plan: CompiledScheme, seed: int, count: int,
+                         record: bool = False):
+    """Compiled-engine pool worker: evaluate ``count`` permutations in
+    one batched call against a precompiled routing plan.
+
+    Draws the same permutation stream as :func:`_worker_mloads` for the
+    same seed, so reference and compiled parallel runs agree sample for
+    sample.  Recorder handling mirrors the reference worker exactly
+    (same span name, same ``flow.samples`` counter) so merged telemetry
+    is engine-independent.
+    """
+    engine = BatchFlowEngine(plan)
+    rng = np.random.default_rng(seed)
+    n = plan.xgft.n_procs
+
+    def draw() -> list[float]:
+        perms = np.stack([random_permutation(n, rng) for _ in range(count)])
+        return engine.permutation_mloads(perms).tolist()
+
+    if not record:
+        return draw(), None
+    rec = Recorder()
+    with use_recorder(rec), rec.timer("flow.sampling.worker"):
+        loads = draw()
+    rec.count("flow.samples", count)
+    return loads, rec.snapshot()
+
+
 @dataclass(frozen=True)
 class PermutationStudyResult:
     """Average maximum permutation load for one scheme.
 
     ``samples`` holds every individual permutation's MLOAD so callers can
     re-analyze (histograms, ratios); ``interval`` is the final CI.
+    ``optimal`` is the permutation OLOAD, computed once per study
+    (invariant across samples — see
+    :func:`repro.flow.metrics.permutation_optimal_load`).
     """
 
     scheme_label: str
     interval: ConfidenceInterval
     samples: np.ndarray
     converged: bool
+    optimal: float = 0.0
 
     @property
     def mean(self) -> float:
         return self.interval.mean
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average ``PERF`` over the samples (1.0 when OLOAD unknown)."""
+        return self.mean / self.optimal if self.optimal > 0 else 1.0
 
 
 class PermutationStudy:
@@ -92,6 +143,11 @@ class PermutationStudy:
         more spread each round's samples over a process pool — useful on
         the 3456-node panels where one sample costs milliseconds.
         Results are reproducible for a fixed ``(seed, n_jobs)`` pair.
+    engine:
+        ``"reference"`` evaluates one permutation at a time through
+        :class:`FlowSimulator`; ``"compiled"`` compiles the scheme once
+        per :meth:`run` and evaluates whole rounds as single batched
+        calls (ships the compiled plan to pool workers).
     recorder:
         Optional :class:`repro.obs.Recorder`.  ``None`` (default) uses
         the ambient recorder (:func:`repro.obs.get_recorder`) at run
@@ -111,6 +167,7 @@ class PermutationStudy:
         max_samples: int = 4096,
         seed=None,
         n_jobs: int = 1,
+        engine: str = "reference",
         recorder=None,
     ):
         if initial_samples < 2:
@@ -119,6 +176,8 @@ class PermutationStudy:
             raise ValueError("max_samples must be >= initial_samples")
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.xgft = xgft
         self.sim = FlowSimulator(xgft)
         self.initial_samples = initial_samples
@@ -126,18 +185,32 @@ class PermutationStudy:
         self.confidence = confidence
         self.max_samples = max_samples
         self.n_jobs = n_jobs
+        self.engine = engine
         self._seed = seed
         self._recorder = recorder
+        self._perm_optimal: float | None = None
+
+    @property
+    def permutation_optimal(self) -> float:
+        """Permutation-traffic OLOAD, computed once per study and shared
+        by every sample (hoisted out of the per-matrix work)."""
+        if self._perm_optimal is None:
+            self._perm_optimal = permutation_optimal_load(self.xgft)
+        return self._perm_optimal
 
     def _mload_samples(self, scheme: RoutingScheme, count: int, rng,
-                       rec) -> list[float]:
+                       rec, batch: BatchFlowEngine | None) -> list[float]:
         if count <= 0:
             return []
         if self.n_jobs == 1:
-            out = []
-            for _ in range(count):
-                perm = random_permutation(self.xgft.n_procs, rng)
-                out.append(self.sim.max_load(scheme, permutation_matrix(perm)))
+            # Both engines consume the identical permutation stream.
+            perms = [random_permutation(self.xgft.n_procs, rng)
+                     for _ in range(count)]
+            if batch is not None:
+                out = batch.permutation_mloads(np.stack(perms)).tolist()
+            else:
+                out = [self.sim.max_load(scheme, permutation_matrix(p))
+                       for p in perms]
             rec.count("flow.samples", count)
             return out
         # Parallel: split the round into per-worker chunks with
@@ -148,11 +221,18 @@ class PermutationStudy:
         seeds = [int(rng.integers(0, 2**62)) for _ in chunks]
         out = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_worker_mloads, self.xgft, scheme, seed, chunk,
-                            rec.enabled)
-                for seed, chunk in zip(seeds, chunks) if chunk
-            ]
+            if batch is not None:
+                futures = [
+                    pool.submit(_worker_batch_mloads, batch.plan, seed, chunk,
+                                rec.enabled)
+                    for seed, chunk in zip(seeds, chunks) if chunk
+                ]
+            else:
+                futures = [
+                    pool.submit(_worker_mloads, self.xgft, scheme, seed, chunk,
+                                rec.enabled)
+                    for seed, chunk in zip(seeds, chunks) if chunk
+                ]
             for future in futures:
                 loads, snapshot = future.result()
                 out.extend(loads)
@@ -160,7 +240,7 @@ class PermutationStudy:
                     rec.merge(snapshot)
         return out
 
-    def run(self, scheme: RoutingScheme) -> PermutationStudyResult:
+    def run(self, scheme: RoutingScheme | CompiledScheme) -> PermutationStudyResult:
         """Average max permutation load of ``scheme`` under the adaptive
         stopping rule."""
         rec = self._recorder if self._recorder is not None else get_recorder()
@@ -169,10 +249,15 @@ class PermutationStudy:
         target = self.initial_samples
         round_index = 0
         with use_recorder(rec):
+            batch = None
+            if self.engine == "compiled" or isinstance(scheme, CompiledScheme):
+                # Compile once; every round reuses the plan.
+                batch = BatchFlowEngine(compile_scheme(self.xgft, scheme))
+            optimal = self.permutation_optimal
             while True:
                 with rec.timer("flow.sampling.round"):
                     samples.extend(self._mload_samples(
-                        scheme, target - len(samples), rng, rec))
+                        scheme, target - len(samples), rng, rec, batch))
                 interval = confidence_interval(samples, self.confidence)
                 if rec.enabled:
                     rec.event(
@@ -195,7 +280,8 @@ class PermutationStudy:
         if rec.enabled:
             rec.count("flow.studies", 1)
         return PermutationStudyResult(
-            scheme.label, interval, np.asarray(samples), converged
+            scheme.label, interval, np.asarray(samples), converged,
+            optimal=optimal,
         )
 
     def run_seed_family(
@@ -219,5 +305,6 @@ class PermutationStudy:
             all_samples.extend(result.samples.tolist())
         interval = confidence_interval(all_samples, self.confidence)
         return PermutationStudyResult(
-            label or "random", interval, np.asarray(all_samples), converged
+            label or "random", interval, np.asarray(all_samples), converged,
+            optimal=self.permutation_optimal,
         )

@@ -25,7 +25,7 @@ from repro.errors import ResourceError, RoutingError
 from repro.ib.lid import LidAssignment, assign_lids
 from repro.obs.recorder import get_recorder
 from repro.routing.base import RoutingScheme
-from repro.routing.enumeration import PathCodec
+from repro.routing.enumeration import path_codec
 from repro.topology.xgft import XGFT
 
 
@@ -101,7 +101,7 @@ def compile_lfts(
         offsets = np.arange(lids.lids_per_port) % full.shape[1]
         path_index = full[:, offsets]  # (n, lids_per_port)
 
-        codec = PathCodec(xgft, h)
+        codec = path_codec(xgft, h)
         total = lids.total_lids
         up_port = np.zeros((h, total), dtype=np.int16)
         flat = path_index.reshape(-1)  # lid-1 -> path index
@@ -160,7 +160,7 @@ def effective_paths(tables: ForwardingTables, src: int, dst: int) -> int:
     if src == dst:
         return 1
     k = xgft.nca_level(src, dst)
-    codec = PathCodec(xgft, xgft.h)
+    codec = path_codec(xgft, xgft.h)
     idx = tables.path_index[dst]
     prefix_stride = codec.strides[k - 1]  # place value of the level-(k-1) digit
     return len(np.unique(idx // prefix_stride))

@@ -7,7 +7,8 @@ share.
 """
 
 from repro.routing.base import LimitedMultipathScheme, RouteSet, RoutingScheme
-from repro.routing.enumeration import PathCodec, disjoint_order
+from repro.routing.compiled import CompiledScheme, compile_scheme
+from repro.routing.enumeration import PathCodec, disjoint_order, path_codec
 from repro.routing.factory import available_schemes, make_scheme
 from repro.routing.heuristics import (
     Disjoint,
@@ -23,7 +24,10 @@ __all__ = [
     "RoutingScheme",
     "LimitedMultipathScheme",
     "RouteSet",
+    "CompiledScheme",
+    "compile_scheme",
     "PathCodec",
+    "path_codec",
     "disjoint_order",
     "available_schemes",
     "make_scheme",

@@ -118,7 +118,7 @@ class RoutingScheme(ABC):
             raise RoutingError(f"processing nodes must be in [0, {n}), got {s}, {d}")
         k = self.xgft.nca_level(s, d)
         if k == 0:
-            return RouteSet(s, d, 0, (0,), (1.0,))
+            return RouteSet(s, d, 0, (), ())
         idx = self.path_index_matrix(np.array([s]), np.array([d]), k)[0]
         frac = self.fractions(k)
         return RouteSet(s, d, int(k), tuple(int(t) for t in idx), tuple(float(f) for f in frac))

@@ -91,6 +91,18 @@ class PathCodec:
         return self.index_to_ports(t)
 
 
+@lru_cache(maxsize=512)
+def path_codec(xgft: XGFT, k: int) -> PathCodec:
+    """Shared :class:`PathCodec` for ``(xgft, k)``.
+
+    The codec is immutable and cheap, but the flow evaluator and the
+    table compilers used to rebuild one per call on their hot paths;
+    ``XGFT`` hashes by ``(h, m, w)``, so equal topologies share cached
+    codecs even across separately constructed instances.
+    """
+    return PathCodec(xgft, k)
+
+
 @lru_cache(maxsize=None)
 def _disjoint_order_cached(h: int, m: tuple, w: tuple, k: int) -> tuple[int, ...]:
     xgft = XGFT(h, m, w)

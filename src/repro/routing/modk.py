@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.routing.base import RoutingScheme
-from repro.routing.enumeration import PathCodec
+from repro.routing.enumeration import path_codec
 from repro.topology.xgft import XGFT
 
 
@@ -23,7 +23,7 @@ def modk_path_index(xgft: XGFT, key, k: int):
     ``(key // W(j)) mod w_{j+1}`` and the path index weights it by the
     stride ``R_j = W(k)/W(j+1)``.
     """
-    codec = PathCodec(xgft, k)
+    codec = path_codec(xgft, k)
     key = np.asarray(key)
     t = np.zeros(key.shape, dtype=np.int64)
     for j in range(k):

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import RoutingError
-from repro.routing.enumeration import PathCodec
+from repro.routing.enumeration import path_codec
 from repro.topology.xgft import XGFT
 
 
@@ -76,7 +76,7 @@ def build_path(xgft: XGFT, s: int, d: int, t: int) -> Path:
             f"processing nodes must be in [0, {xgft.n_procs}), got {s}, {d}"
         )
     k = xgft.nca_level(s, d)
-    codec = PathCodec(xgft, k)
+    codec = path_codec(xgft, k)
     ports = codec.index_to_ports(t)  # validates t
 
     if k == 0:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.routing.base import RoutingScheme
-from repro.routing.enumeration import PathCodec
+from repro.routing.enumeration import path_codec
 from repro.topology.xgft import XGFT
 
 
@@ -37,7 +37,7 @@ def path_link_matrix(
     d = np.asarray(d, dtype=np.int64)
     idx = np.asarray(idx, dtype=np.int64)
     n, p = idx.shape
-    codec = PathCodec(xgft, k)
+    codec = path_codec(xgft, k)
     out = np.empty((n, p, 2 * k), dtype=np.int64)
     low = np.zeros_like(idx)
     for l in range(k):
@@ -71,6 +71,11 @@ def compile_routes(
     pair's path link-id tuples (in the scheme's path order; fractions are
     ``scheme.fractions(k)``).
     """
+    if hasattr(scheme, "route_table"):
+        # Compiled plans already hold the per-pair link incidence —
+        # serve the table straight from it (duck-typed to avoid an
+        # import cycle with repro.routing.compiled).
+        return scheme.route_table(pairs)
     n = xgft.n_procs
     if pairs is None:
         grid_s, grid_d = np.divmod(np.arange(n * n, dtype=np.int64), n)

@@ -292,6 +292,18 @@ class XGFT:
         self._check_level(l, max_level=self.h - 1)
         return self._boundary_counts[l]
 
+    def boundary_link_slices(self, l: int) -> tuple[slice, slice]:
+        """``(up, down)`` slices of the dense link-id space covering the
+        ``l``/``l+1`` boundary — links are laid out per level, so the
+        per-level selections used when slicing load vectors are plain
+        slices, not boolean masks."""
+        self._check_level(l, max_level=self.h - 1)
+        count = self._boundary_counts[l]
+        return (
+            slice(self._up_base[l], self._up_base[l] + count),
+            slice(self._down_base[l], self._down_base[l] + count),
+        )
+
     def up_link_id(self, l: int, index, port):
         """Dense id of the up-link out of level-``l`` node ``index`` via
         ``port``.  Vectorized over arrays."""

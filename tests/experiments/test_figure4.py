@@ -68,3 +68,22 @@ class TestRows:
         rows = small_result.rows()
         assert len(rows) == len(small_result.ks)
         assert rows[0][0] == 1
+
+
+class TestEngines:
+    def test_compiled_engine_reproduces_reference_panel(self):
+        """Both engines draw the same permutation stream, so a whole
+        panel agrees to float tolerance."""
+        import numpy as np
+
+        xgft = m_port_n_tree(4, 2)
+        kwargs = dict(topology=xgft, fidelity_name="fast", dense_k=True,
+                      seed=7, random_seeds=(0, 1))
+        ref = run_panel("a", **kwargs)
+        comp = run_panel("a", engine="compiled", **kwargs)
+        assert comp.ks == ref.ks
+        assert comp.dmodk == pytest.approx(ref.dmodk, abs=1e-9)
+        assert set(comp.series) == set(ref.series)
+        for name in ref.series:
+            np.testing.assert_allclose(comp.series[name], ref.series[name],
+                                       atol=1e-9)

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+    run_instrumented,
+)
 
 
 class TestRegistry:
@@ -19,6 +24,25 @@ class TestRegistry:
     def test_descriptions_nonempty(self):
         for exp in EXPERIMENTS.values():
             assert exp.description
+
+
+class TestEngineForwarding:
+    def test_flow_level_experiments_are_engine_aware(self):
+        for name in ("figure4a", "figure4b", "figure4c", "figure4d", "ratios"):
+            assert get_experiment(name).engine_aware, name
+
+    def test_flit_and_exact_experiments_are_not(self):
+        for name in ("table1", "figure5", "theorems", "resources",
+                     "exact-ratios"):
+            assert not get_experiment(name).engine_aware, name
+
+    def test_unaware_experiment_rejects_compiled_engine(self):
+        with pytest.raises(ReproError, match="does not support"):
+            run_instrumented("resources", engine="compiled")
+
+    def test_unaware_experiment_accepts_reference_engine(self):
+        run = run_instrumented("resources", engine="reference")
+        assert run.result is not None
 
 
 class TestTheoremsExperiment:

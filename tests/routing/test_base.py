@@ -40,10 +40,20 @@ class TestRoutingSchemeContract:
         with pytest.raises(RoutingError):
             scheme.route(-1, 0)
 
-    def test_self_route_is_trivial(self, tree8x2):
+    def test_self_route_is_empty(self, tree8x2):
+        # Regression: s == d traffic never enters the network, so the
+        # route set must be empty — a phantom path index 0 used to leak
+        # into route tables and fraction accounting.
         rs = DModK(tree8x2).route(7, 7)
         assert rs.nca_level == 0
-        assert rs.indices == (0,)
+        assert rs.indices == ()
+        assert rs.fractions == ()
+        assert rs.num_paths == 0
+
+    def test_self_route_empty_for_multipath(self, tree8x2):
+        rs = Disjoint(tree8x2, 3).route(4, 4)
+        assert rs.num_paths == 0
+        assert rs.paths(tree8x2) == []
 
     def test_all_route_sets_cover_all_pairs(self, kary2x2):
         table = DModK(kary2x2).all_route_sets()

@@ -52,6 +52,19 @@ class TestCommands:
     def test_route_error(self, capsys):
         assert main(["route", "mport:8x2", "nosuchscheme", "0", "1"]) == 2
 
+    def test_engine_flag_on_aware_experiment(self, capsys):
+        # ratios is engine-aware: --engine compiled must run end to end.
+        assert main(["ratios", "--engine", "compiled", "--quiet"]) == 0
+
+    def test_engine_flag_rejected_for_unaware_experiment(self, capsys):
+        # resources has no flow-level permutation loop; a non-reference
+        # engine request is an error, not a silent no-op.
+        assert main(["resources", "--engine", "compiled"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_reference_engine_is_always_accepted(self, capsys):
+        assert main(["resources", "--engine", "reference", "--quiet"]) == 0
+
 
 class TestGlobalOptions:
     def test_version(self, capsys):
