@@ -15,6 +15,9 @@ stream, metrics line), ``--profile`` to print a timer/counter report,
 and ``--quiet`` to suppress the rendered result.  Flow-level permutation
 experiments additionally accept ``--engine {reference,compiled}`` to pick
 the evaluator (compiled = compile routes once, batch-evaluate rounds).
+Fault-aware experiments (``fault-sweep``) accept ``--fault-rate R[,R...]``
+(link failure rate grid), ``--fault-links ID[,ID...]`` (explicit failed
+cables) and ``--fault-seed N`` (fault sampler seed).
 
 Topology specs: ``mport:8x3`` (8-port 3-tree), ``kary:4x2`` (4-ary
 2-tree), or an explicit ``xgft:3;4,4,8;1,4,4``.
@@ -88,6 +91,16 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _parse_csv(value, cast, flag: str):
+    """Parse a comma-separated option value; None passes through."""
+    if value is None:
+        return None
+    try:
+        return tuple(cast(part) for part in str(value).split(",") if part)
+    except ValueError as exc:
+        raise ReproError(f"bad {flag} value {value!r}: {exc}") from None
+
+
 def _cmd_experiment(args) -> int:
     want_obs = bool(args.log_json or args.profile)
     rec = Recorder() if want_obs else get_recorder()
@@ -106,6 +119,9 @@ def _cmd_experiment(args) -> int:
             recorder=rec,
             argv=getattr(args, "_argv", None),
             engine=args.engine,
+            fault_rate=_parse_csv(args.fault_rate, float, "--fault-rate"),
+            fault_links=_parse_csv(args.fault_links, int, "--fault-links"),
+            fault_seed=args.fault_seed,
         )
         if not args.quiet:
             print(run.result.render())
@@ -165,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="flow evaluator: re-derive routes per matrix (reference) or "
              "compile once and batch-evaluate (compiled); only flow-level "
              "permutation experiments accept a non-default engine")
+    obs_parent.add_argument(
+        "--fault-rate", metavar="R[,R...]", default=None,
+        help="link failure rate grid for fault-aware experiments, e.g. "
+             "0,0.02,0.05 (fraction of non-critical cables failed)")
+    obs_parent.add_argument(
+        "--fault-links", metavar="ID[,ID...]", default=None,
+        help="explicit failed cables (up-link ids) instead of random "
+             "sampling; only fault-aware experiments accept this")
+    obs_parent.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="fault-sampler seed, independent of the traffic --seed")
 
     for name, exp in EXPERIMENTS.items():
         p_exp = sub.add_parser(name, help=exp.description,

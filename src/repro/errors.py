@@ -20,6 +20,26 @@ class RoutingError(ReproError):
     """Invalid routing request (unknown scheme, bad path index, ...)."""
 
 
+class FaultError(ReproError):
+    """Invalid fault specification (bad rates, unknown elements, ...)."""
+
+
+class DisconnectedPairError(RoutingError):
+    """An SD pair has no surviving shortest path on a degraded fabric.
+
+    Carries the pair so sweeps can report *which* traffic was stranded.
+    """
+
+    def __init__(self, src: int, dst: int, message: str | None = None):
+        self.src = int(src)
+        self.dst = int(dst)
+        super().__init__(
+            message
+            or f"no surviving shortest path from {src} to {dst} on the "
+               f"degraded fabric"
+        )
+
+
 class TrafficError(ReproError):
     """Invalid traffic matrix or traffic-pattern parameters."""
 

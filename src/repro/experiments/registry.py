@@ -24,13 +24,17 @@ class Experiment:
 
     ``engine_aware`` marks experiments whose runner accepts the
     ``engine`` keyword (flow-level permutation studies); the CLI's
-    ``--engine`` flag is only forwarded to those.
+    ``--engine`` flag is only forwarded to those.  ``fault_aware`` marks
+    runners accepting the fault-injection keywords (``fault_rate`` /
+    ``fault_links`` / ``fault_seed``); the CLI's ``--fault-*`` flags are
+    only forwarded to those.
     """
 
     name: str
     description: str
     runner: Callable[..., object]  # returns a result with .render()
     engine_aware: bool = False
+    fault_aware: bool = False
 
 
 def _figure4_runner(panel: str):
@@ -78,6 +82,12 @@ def _exact_ratios(**kwargs):
     return exact_ratios.run(**kwargs)
 
 
+def _fault_sweep(**kwargs):
+    from repro.experiments import fault_sweep
+
+    return fault_sweep.run(**kwargs)
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     **{
         f"figure4{p}": Experiment(
@@ -107,6 +117,10 @@ EXPERIMENTS: dict[str, Experiment] = {
     "exact-ratios": Experiment(
         "exact-ratios", "exact oblivious ratios via LP (small trees)",
         _exact_ratios,
+    ),
+    "fault-sweep": Experiment(
+        "fault-sweep", "avg max permutation load vs link failure rate",
+        _fault_sweep, engine_aware=True, fault_aware=True,
     ),
 }
 
@@ -143,6 +157,9 @@ def run_instrumented(
     recorder=None,
     argv: tuple[str, ...] | None = None,
     engine: str | None = None,
+    fault_rate: tuple[float, ...] | None = None,
+    fault_links: tuple[int, ...] | None = None,
+    fault_seed: int | None = None,
     **kwargs,
 ) -> ExperimentRun:
     """Run an experiment under a recorder and attach a manifest.
@@ -154,7 +171,10 @@ def run_instrumented(
     construction) reports into it.  ``engine`` (``"reference"`` /
     ``"compiled"``) is forwarded only to engine-aware experiments;
     requesting a non-reference engine anywhere else is an error rather
-    than a silent no-op.
+    than a silent no-op.  The fault keywords (``fault_rate`` failure-rate
+    grid, ``fault_links`` explicit cable ids, ``fault_seed``) mirror
+    that contract: forwarded to fault-aware experiments, an error
+    elsewhere.
     """
     rec = recorder if recorder is not None else get_recorder()
     experiment = get_experiment(name)
@@ -165,6 +185,16 @@ def run_instrumented(
             raise ReproError(
                 f"experiment {name!r} does not support --engine {engine}"
             )
+    for key, value in (("rates", fault_rate), ("fault_links", fault_links),
+                       ("fault_seed", fault_seed)):
+        if value is None:
+            continue
+        if not experiment.fault_aware:
+            raise ReproError(
+                f"experiment {name!r} does not support fault injection "
+                f"(--fault-rate/--fault-links/--fault-seed)"
+            )
+        kwargs[key] = value
     manifest = RunManifest.create(
         name, fidelity=fidelity_name, seed=seed,
         argv=tuple(argv) if argv is not None else None,

@@ -1,0 +1,34 @@
+"""Fault injection and degraded-fabric routing (``repro.faults``).
+
+The layer has three pieces, composed left to right::
+
+    FaultSpec --sample--> DegradedFabric --DegradedScheme--> routing stack
+
+* :class:`~repro.faults.spec.FaultSpec` — a seeded, reproducible
+  description of what fails (random cables/switches, explicit lists);
+* :class:`~repro.faults.degraded.DegradedFabric` — the concrete link
+  liveness mask every consumer reads;
+* :class:`~repro.faults.scheme.DegradedScheme` — any routing scheme
+  filtered through the mask, with per-pair fraction renormalization and
+  typed :class:`~repro.errors.DisconnectedPairError` on stranded pairs.
+
+Both flow engines, the flit engine and the LFT compiler accept the
+wrapped scheme transparently; see ``docs/architecture.md``.
+"""
+
+from repro.errors import DisconnectedPairError, FaultError
+from repro.faults.degraded import DegradedFabric, cable_links, switch_links
+from repro.faults.scheme import DegradedScheme
+from repro.faults.spec import FaultSpec, samplable_cables, samplable_switches
+
+__all__ = [
+    "DegradedFabric",
+    "DegradedScheme",
+    "DisconnectedPairError",
+    "FaultError",
+    "FaultSpec",
+    "cable_links",
+    "samplable_cables",
+    "samplable_switches",
+    "switch_links",
+]

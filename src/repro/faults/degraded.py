@@ -1,0 +1,201 @@
+"""The degraded-fabric mask: which parts of an XGFT survive.
+
+A :class:`DegradedFabric` pairs a topology with a boolean liveness mask
+over its dense directed-link ids.  Faults come in two physical flavors —
+dead cables and dead switches — but both reduce to the link mask:
+
+* a failed *cable* kills both of its directed links;
+* a failed *switch* kills every directed link incident to it (a path
+  cannot traverse a switch without using one link in and one link out,
+  so masking incident links is exactly equivalent to masking the node).
+
+Keeping the mask at link granularity lets every consumer stay
+vectorized: path liveness is one gather over
+:func:`repro.routing.vectorized.path_link_matrix` output, and the flit
+engine zeroes the credits of failed channels.
+
+Cables are identified by their *up-link* id (each physical cable is the
+up link plus its paired down link; see :func:`cable_links`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.routing.vectorized import path_link_matrix
+from repro.topology.xgft import XGFT
+
+
+def cable_links(xgft: XGFT, up_link_id: int) -> tuple[int, int]:
+    """Both directed link ids of the cable named by ``up_link_id``.
+
+    >>> from repro.topology import m_port_n_tree
+    >>> xgft = m_port_n_tree(4, 2)
+    >>> up, down = cable_links(xgft, 0)
+    >>> xgft.link_ref(down).dst_index == xgft.link_ref(up).src_index
+    True
+    """
+    ref = xgft.link_ref(up_link_id)
+    if ref.kind.value != "up":
+        raise FaultError(
+            f"cables are named by their up-link id; {up_link_id} is a down link"
+        )
+    l, index = ref.src_level, ref.src_index
+    child_digit = (index // xgft.W(l)) % xgft.m[l]
+    down = int(xgft.down_link_id(l, ref.dst_index, child_digit))
+    return up_link_id, down
+
+
+def switch_links(xgft: XGFT, level: int, index: int) -> list[int]:
+    """Every directed link id incident to the switch ``(level, index)``."""
+    if not 1 <= level <= xgft.h:
+        raise FaultError(f"switch level {level} out of range [1, {xgft.h}]")
+    if not 0 <= index < xgft.level_size(level):
+        raise FaultError(
+            f"switch index {index} out of range [0, {xgft.level_size(level)}) "
+            f"at level {level}"
+        )
+    out: list[int] = []
+    # Links to/from the children across boundary level-1.
+    below = level - 1
+    up_port = (index // xgft.W(below)) % xgft.w[below]  # child's port to us
+    for child_digit in range(xgft.m[below]):
+        child = int(xgft.child(level, index, child_digit))
+        out.append(int(xgft.up_link_id(below, child, up_port)))
+        out.append(int(xgft.down_link_id(below, index, child_digit)))
+    # Links to/from the parents across boundary ``level`` (if any).
+    if level < xgft.h:
+        child_digit = (index // xgft.W(level)) % xgft.m[level]
+        for port in range(xgft.w[level]):
+            parent = int(xgft.parent(level, index, port))
+            out.append(int(xgft.up_link_id(level, index, port)))
+            out.append(int(xgft.down_link_id(level, parent, child_digit)))
+    return out
+
+
+class DegradedFabric:
+    """An XGFT plus the set of elements that have failed.
+
+    Parameters
+    ----------
+    xgft:
+        The pristine topology.
+    failed_cables:
+        Up-link ids of dead cables (both directions die).
+    failed_switches:
+        ``(level, index)`` pairs of dead switches; all incident links die.
+
+    The derived :attr:`link_ok` mask is the single source of truth for
+    every consumer (routing, flow engines, flit engine).
+    """
+
+    def __init__(self, xgft: XGFT, *, failed_cables=(), failed_switches=()):
+        self.xgft = xgft
+        self._connected: bool | None = None
+        self.failed_cables = tuple(sorted({int(c) for c in failed_cables}))
+        self.failed_switches = tuple(sorted(
+            {(int(l), int(i)) for l, i in failed_switches}
+        ))
+        ok = np.ones(xgft.n_links, dtype=bool)
+        for cable in self.failed_cables:
+            for link in cable_links(xgft, cable):
+                ok[link] = False
+        for level, index in self.failed_switches:
+            for link in switch_links(xgft, level, index):
+                ok[link] = False
+        self.link_ok = ok
+        self.link_ok.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_failed_links(self) -> int:
+        """Directed links removed (cables count twice)."""
+        return int((~self.link_ok).sum())
+
+    @property
+    def n_failed_cables(self) -> int:
+        return len(self.failed_cables)
+
+    @property
+    def n_failed_switches(self) -> int:
+        return len(self.failed_switches)
+
+    @property
+    def is_pristine(self) -> bool:
+        return bool(self.link_ok.all())
+
+    @property
+    def alive_fraction(self) -> float:
+        """Fraction of directed links still alive."""
+        n = self.xgft.n_links
+        return float(self.link_ok.sum()) / n if n else 1.0
+
+    @property
+    def tag(self) -> str:
+        """Short stable identifier used in scheme labels and telemetry."""
+        if self.is_pristine:
+            return "pristine"
+        return f"{self.n_failed_cables}c{self.n_failed_switches}s"
+
+    def __repr__(self) -> str:
+        return (f"DegradedFabric({self.xgft!r}, cables={self.n_failed_cables}, "
+                f"switches={self.n_failed_switches})")
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the damage."""
+        lines = [repr(self)]
+        lines.append(f"  alive links      : {int(self.link_ok.sum())}"
+                     f"/{self.xgft.n_links}")
+        for cable in self.failed_cables:
+            ref = self.xgft.link_ref(cable)
+            lines.append(
+                f"  dead cable {cable}: level {ref.src_level} node "
+                f"{ref.src_index} <-> level {ref.dst_level} node {ref.dst_index}"
+            )
+        for level, index in self.failed_switches:
+            lines.append(
+                f"  dead switch {self.xgft.node_label(level, index)}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        """True iff every ordered pair keeps at least one alive shortest
+        path.  Independent faults can jointly cover a pair's whole path
+        set even when no single fault is critical; sweeps use this to
+        resample such fabrics (cached after the first call)."""
+        if self._connected is None:
+            self._connected = self._check_connected()
+        return self._connected
+
+    def _check_connected(self) -> bool:
+        xgft = self.xgft
+        if self.is_pristine:
+            return True
+        n = xgft.n_procs
+        keys = np.arange(n * n, dtype=np.int64)
+        s, d = np.divmod(keys, n)
+        k_arr = xgft.nca_level(s, d)
+        for k in range(1, xgft.h + 1):
+            mask = k_arr == k
+            if not mask.any():
+                continue
+            x = xgft.W(k)
+            idx = np.broadcast_to(np.arange(x, dtype=np.int64),
+                                  (int(mask.sum()), x))
+            alive = self.path_alive_matrix(s[mask], d[mask], idx, k)
+            if not alive.any(axis=1).all():
+                return False
+        return True
+
+    def path_alive_matrix(
+        self, s: np.ndarray, d: np.ndarray, idx: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Which of the paths in the ``(n, P)`` index matrix ``idx``
+        survive: True iff every link of the path is alive."""
+        if k == 0:
+            return np.ones_like(np.asarray(idx), dtype=bool)
+        links = path_link_matrix(self.xgft, s, d, idx, k)
+        return self.link_ok[links].all(axis=2)

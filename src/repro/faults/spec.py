@@ -1,0 +1,158 @@
+"""Seeded fault models over an XGFT.
+
+A :class:`FaultSpec` describes *what* fails — random cable failures,
+random switch failures, and/or explicit named elements — and
+:meth:`FaultSpec.sample` turns it into a concrete
+:class:`~repro.faults.degraded.DegradedFabric`.
+
+Sampling discipline
+-------------------
+All randomness flows through named :func:`repro.util.rng.substream`
+streams derived from the spec's seed: cable faults and switch faults
+draw from *independent* streams, so enabling one never perturbs the
+sample of the other, and nothing touches module-level ``random`` /
+``np.random`` state.  Two interleaved simulations therefore reproduce
+their solo results exactly (the regression suite pins this).
+
+Critical elements
+-----------------
+By default random sampling only draws elements whose individual loss
+cannot disconnect the fabric: a single switch at level ``l`` is a
+single point of failure iff ``W(l) == 1`` (it is some host's only
+level-``l`` ancestor), and a single cable crossing boundary ``l`` iff
+``W(l+1) == 1``.  Losing such an element is host attrition, not
+degraded routing, and is a different failure class; pass
+``spare_critical=False`` (or name the element explicitly) to study it —
+disconnected pairs then raise
+:class:`~repro.errors.DisconnectedPairError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.faults.degraded import DegradedFabric
+from repro.obs.recorder import get_recorder
+from repro.topology.xgft import XGFT
+from repro.util.rng import substream
+
+
+def samplable_cables(xgft: XGFT, *, spare_critical: bool = True) -> np.ndarray:
+    """Up-link ids of the cables eligible for random failure."""
+    out = []
+    for l in range(xgft.h):
+        if spare_critical and xgft.W(l + 1) < 2:
+            continue
+        up_slice, _ = xgft.boundary_link_slices(l)
+        out.append(np.arange(up_slice.start, up_slice.stop, dtype=np.int64))
+    if not out:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(out)
+
+
+def samplable_switches(
+    xgft: XGFT, *, spare_critical: bool = True
+) -> list[tuple[int, int]]:
+    """``(level, index)`` pairs of the switches eligible for random failure."""
+    out: list[tuple[int, int]] = []
+    for l in range(1, xgft.h + 1):
+        if spare_critical and xgft.W(l) < 2:
+            continue
+        out.extend((l, i) for i in range(xgft.level_size(l)))
+    return out
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A reproducible description of which fabric elements fail.
+
+    Attributes
+    ----------
+    link_rate:
+        Fraction of eligible cables to fail (``round(rate * n)`` of
+        them, sampled without replacement).
+    switch_rate:
+        Fraction of eligible switches to fail.
+    links:
+        Explicit cable (up-link) ids to fail, in addition to sampling.
+    switches:
+        Explicit ``(level, index)`` switches to fail.
+    seed:
+        Root seed of the named sampling substreams.
+    spare_critical:
+        Restrict *random* sampling to elements whose loss cannot
+        disconnect any host (see module docstring).  Explicit lists are
+        never filtered.
+    """
+
+    link_rate: float = 0.0
+    switch_rate: float = 0.0
+    links: tuple[int, ...] = ()
+    switches: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    seed: int = 0
+    spare_critical: bool = True
+
+    def __post_init__(self):
+        for name, rate in (("link_rate", self.link_rate),
+                           ("switch_rate", self.switch_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise FaultError(f"{name} must be in [0, 1), got {rate}")
+        object.__setattr__(self, "links", tuple(int(x) for x in self.links))
+        object.__setattr__(
+            self, "switches",
+            tuple((int(l), int(i)) for l, i in self.switches),
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the spec cannot fail anything."""
+        return (self.link_rate == 0.0 and self.switch_rate == 0.0
+                and not self.links and not self.switches)
+
+    def sample(self, xgft: XGFT) -> DegradedFabric:
+        """Draw the concrete degraded fabric this spec describes.
+
+        Pure function of ``(spec, xgft)``: repeated calls return equal
+        fabrics.  Under an enabled recorder a ``faults_injected`` event
+        and ``faults.*`` counters document the damage.
+        """
+        cables = set(self.links)
+        switches = set(self.switches)
+        if self.link_rate > 0.0:
+            pool = samplable_cables(xgft, spare_critical=self.spare_critical)
+            count = int(round(self.link_rate * len(pool)))
+            if count:
+                rng = substream(self.seed, "fault-links")
+                cables.update(
+                    int(c) for c in rng.choice(pool, size=count, replace=False)
+                )
+        if self.switch_rate > 0.0:
+            pool_s = samplable_switches(xgft, spare_critical=self.spare_critical)
+            count = int(round(self.switch_rate * len(pool_s)))
+            if count:
+                rng = substream(self.seed, "fault-switches")
+                picks = rng.choice(len(pool_s), size=count, replace=False)
+                switches.update(pool_s[int(i)] for i in picks)
+        degraded = DegradedFabric(
+            xgft, failed_cables=cables, failed_switches=switches
+        )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count("faults.fabrics_sampled")
+            rec.count("faults.cables_failed", degraded.n_failed_cables)
+            rec.count("faults.switches_failed", degraded.n_failed_switches)
+            rec.event(
+                "faults_injected",
+                topology=repr(xgft),
+                link_rate=self.link_rate,
+                switch_rate=self.switch_rate,
+                seed=self.seed,
+                cables=list(degraded.failed_cables),
+                switches=[list(sw) for sw in degraded.failed_switches],
+                n_failed_links=degraded.n_failed_links,
+                alive_fraction=degraded.alive_fraction,
+            )
+        return degraded

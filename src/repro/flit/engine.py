@@ -102,12 +102,22 @@ class FlitSimulator:
     """
 
     def __init__(self, xgft: XGFT, scheme: RoutingScheme, config: FlitConfig,
-                 *, compiled=None):
+                 *, compiled=None, degraded=None):
         if scheme.xgft != xgft:
             raise SimulationError("scheme was built for a different topology")
         self.xgft = xgft
         self.scheme = scheme
         self.config = config
+        # Degraded fabrics: failed channels carry zero credits (below),
+        # and the route table — compiled from a fault-aware scheme —
+        # never references them.  When the scheme is a DegradedScheme the
+        # fabric is picked up from it automatically.
+        if degraded is None:
+            degraded = getattr(scheme, "degraded", None)
+        if degraded is not None and degraded.xgft != xgft:
+            raise SimulationError(
+                "degraded fabric was built for a different topology")
+        self.degraded = degraded
         if compiled is not None:
             # Reuse an existing compiled plan's incidence instead of
             # re-deriving every pair's link sequence.
@@ -117,6 +127,15 @@ class FlitSimulator:
             self.routes = compiled.route_table()
         else:
             self.routes = compile_routes(xgft, scheme)
+        if self.degraded is not None and not self.degraded.is_pristine:
+            link_ok = self.degraded.link_ok
+            for paths in self.routes.values():
+                for path in paths:
+                    for c in path:
+                        if not link_ok[c]:
+                            raise SimulationError(
+                                f"route table references failed channel {c}; "
+                                f"wrap the scheme in DegradedScheme first")
         self._n_procs = xgft.n_procs
         self._n_channels = xgft.n_links
 
@@ -144,6 +163,7 @@ class FlitSimulator:
         sim.scheme = None
         sim.config = config
         sim.routes = routes
+        sim.degraded = None
         sim._n_procs = n_hosts
         sim._n_channels = n_channels
         for key, paths in routes.items():
@@ -204,6 +224,14 @@ class FlitSimulator:
 
         busy_until = [0] * n_channels    # physical output port free time
         credits = [cfg.buffer_packets] * n_sub
+        if self.degraded is not None and not self.degraded.is_pristine:
+            # A failed channel never grants credits: even if a stray
+            # route referenced it, no packet could start crossing.
+            for c, ok in enumerate(self.degraded.link_ok):
+                if not ok:
+                    base = c * n_vcs
+                    for v in range(n_vcs):
+                        credits[base + v] = 0
         requests: list[_Fifo] = [_Fifo() for _ in range(n_channels)]
         rr_state: dict[int, int] = {}
 

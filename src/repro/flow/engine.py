@@ -87,6 +87,13 @@ class BatchFlowEngine:
             row_of_key[lv.keys] = np.arange(lv.n_pairs, dtype=np.int64)
             self._level_of_key[lv.keys] = len(self._levels)
             links_flat = lv.links.reshape(lv.n_pairs, lv.width)
+            if lv.pair_weights is not None:
+                # Masked (degraded) plan: weights differ per pair, so no
+                # column structure to exploit — one weighted bincount.
+                self._levels.append(
+                    (row_of_key, links_flat, None, lv.pair_link_weights())
+                )
+                continue
             # Merge (path, hop) columns that name the same link for
             # *every* pair — e.g. all paths share the terminal links when
             # w_1 = 1, and UMULTI's full fan-out shares each level-l link
@@ -100,7 +107,7 @@ class BatchFlowEngine:
                 cols = np.flatnonzero(col_weights == w)
                 groups.append((float(w), None if len(cols) == width
                                else cols))
-            self._levels.append((row_of_key, links_flat, groups))
+            self._levels.append((row_of_key, links_flat, groups, None))
 
     @property
     def label(self) -> str:
@@ -142,11 +149,17 @@ class BatchFlowEngine:
         lvl = self._level_of_key[keys]
         total = b * self._n_links
         loads = np.zeros(total)
-        for i, (row_of_key, links_flat, groups) in enumerate(self._levels):
+        for i, (row_of_key, links_flat, groups, pair_w) in enumerate(self._levels):
             sel = lvl == i
             if not sel.any():
                 continue
-            combined = links_flat[row_of_key[keys[sel]]] + bases[sel][:, None]
+            rows = row_of_key[keys[sel]]
+            combined = links_flat[rows] + bases[sel][:, None]
+            if groups is None:  # masked plan: per-pair weights
+                loads += np.bincount(combined.ravel(),
+                                     weights=pair_w[rows].ravel(),
+                                     minlength=total)
+                continue
             for weight, cols in groups:
                 flat = (combined if cols is None else combined[:, cols]).ravel()
                 loads += weight * np.bincount(flat, minlength=total)

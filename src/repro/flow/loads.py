@@ -29,8 +29,13 @@ def _accumulate_group(
 ) -> None:
     """Emit (link id, weight) arrays for pairs whose NCA level is ``k``."""
     idx = scheme.path_index_matrix(s, d, k)  # (n, P)
-    frac = scheme.fractions(k)  # (P,)
-    weights = (amount[:, None] * frac[None, :]).ravel()
+    # Fault-aware schemes carry per-pair fractions (renormalized around
+    # failed paths, 0 on padding entries); pristine schemes share one
+    # per-level fraction vector.
+    frac_matrix = scheme.path_weight_matrix(s, d, k)
+    if frac_matrix is None:
+        frac_matrix = scheme.fractions(k)[None, :]
+    weights = (amount[:, None] * frac_matrix).ravel()
     codec = path_codec(xgft, k)
 
     # Accumulated low digits sum_{j<l} p_j W(j), per (pair, path).

@@ -98,8 +98,20 @@ def compile_lfts(
         # top level (only s-mod-k / hashed schemes even look at it).
         reps = (dests + xgft.M(h - 1)) % xgft.n_procs
         full = scheme.path_index_matrix(reps, dests, h)  # (n, P_h)
-        offsets = np.arange(lids.lids_per_port) % full.shape[1]
-        path_index = full[:, offsets]  # (n, lids_per_port)
+        pair_w = scheme.path_weight_matrix(reps, dests, h)
+        if pair_w is None:
+            offsets = np.arange(lids.lids_per_port) % full.shape[1]
+            path_index = full[:, offsets]  # (n, lids_per_port)
+        else:
+            # Fault-aware scheme: rows are padded with weight-0
+            # duplicates, so round-robin the LID offsets over each
+            # destination's *live* paths only.
+            offs = np.arange(lids.lids_per_port)
+            path_index = np.empty((len(dests), lids.lids_per_port),
+                                  dtype=np.int64)
+            for i in range(len(dests)):
+                live = full[i][pair_w[i] > 0.0]
+                path_index[i] = live[offs % len(live)]
 
         codec = path_codec(xgft, h)
         total = lids.total_lids

@@ -111,6 +111,44 @@ class RoutingScheme(ABC):
         p = self.paths_per_pair(k)
         return np.full(p, 1.0 / p)
 
+    def path_weight_matrix(self, s: np.ndarray, d: np.ndarray, k: int):
+        """Per-*pair* traffic fractions aligned with
+        :meth:`path_index_matrix`, or ``None`` when the per-level
+        :meth:`fractions` apply to every pair (the default).
+
+        Fault-aware schemes return an ``(len(s), P)`` float64 matrix
+        whose rows sum to 1; entries may be 0 (the matching path-index
+        entry is dead-weight padding and carries no traffic).
+        Evaluators must consult this before :meth:`fractions`.
+        """
+        return None
+
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        """Full preference order over *all* ``X = W(k)`` path indices for
+        a batch of level-``k`` pairs — each row a permutation of
+        ``[0, X)`` whose length-``P`` prefix is :meth:`path_index_matrix`.
+
+        This is the scheme's re-route policy: when faults kill some of a
+        pair's preferred paths, the degraded wrapper walks this order and
+        takes the first surviving ones.  The default extends the selected
+        prefix with the remaining indices in ascending ALLPATHS order;
+        subclasses with a natural total order (shift sequences, disjoint
+        orderings, hash scores) override it.
+        """
+        s = np.asarray(s, dtype=np.int64)
+        d = np.asarray(d, dtype=np.int64)
+        x = self.xgft.W(k)
+        idx = np.asarray(self.path_index_matrix(s, d, k), dtype=np.int64)
+        n, p = idx.shape
+        if p == x:
+            return idx
+        out = np.empty((n, x), dtype=np.int64)
+        out[:, :p] = idx
+        remaining = np.ones((n, x), dtype=bool)
+        remaining[np.arange(n)[:, None], idx] = False
+        out[:, p:] = np.nonzero(remaining)[1].reshape(n, x - p)
+        return out
+
     def route(self, s: int, d: int) -> RouteSet:
         """Route one SD pair.  ``s == d`` yields the empty route set."""
         n = self.xgft.n_procs

@@ -59,8 +59,12 @@ class CompiledLevel:
     keys: np.ndarray         # (n_pairs,) int64, sorted: src * n_procs + dst
     path_index: np.ndarray   # (n_pairs, P) int64
     links: np.ndarray        # (n_pairs, P, 2k) int64 directed link ids
-    fractions: np.ndarray    # (P,) float64, sums to 1
+    fractions: np.ndarray    # (P,) float64, sums to 1 (nominal when masked)
     link_weights: np.ndarray  # (P * 2k,) float64: fractions repeated per link
+    #: per-pair fractions (n_pairs, P) for masked (fault-aware) plans —
+    #: rows sum to 1 with zeros on dead-path padding; None when the
+    #: shared ``fractions`` vector applies to every pair.
+    pair_weights: np.ndarray | None = None
 
     @property
     def n_pairs(self) -> int:
@@ -70,6 +74,17 @@ class CompiledLevel:
     def width(self) -> int:
         """Incidence entries per pair (``P * 2k``)."""
         return self.link_weights.size
+
+    @property
+    def masked(self) -> bool:
+        """True when the plan carries per-pair (degraded) weights."""
+        return self.pair_weights is not None
+
+    def pair_link_weights(self) -> np.ndarray:
+        """``(n_pairs, P * 2k)`` per-entry weights (materialized view)."""
+        if self.pair_weights is None:
+            return np.broadcast_to(self.link_weights, (self.n_pairs, self.width))
+        return np.repeat(self.pair_weights, 2 * self.k, axis=1)
 
 
 class CompiledScheme:
@@ -122,7 +137,14 @@ class CompiledScheme:
         for lv in self.levels.values():
             total += lv.path_index.nbytes + lv.links.nbytes + lv.keys.nbytes
             total += lv.src.nbytes + lv.dst.nbytes
+            if lv.pair_weights is not None:
+                total += lv.pair_weights.nbytes
         return total
+
+    @property
+    def masked(self) -> bool:
+        """True when any level carries per-pair (degraded) weights."""
+        return any(lv.masked for lv in self.levels.values())
 
     # -- RoutingScheme query surface ----------------------------------
     def paths_per_pair(self, k: int) -> int:
@@ -135,6 +157,14 @@ class CompiledScheme:
         """Dense path indices for a batch of level-``k`` pairs, served by
         table lookup (no scheme recomputation)."""
         return self._level(k).path_index[self._rows(k, s, d)]
+
+    def path_weight_matrix(self, s: np.ndarray, d: np.ndarray, k: int):
+        """Per-pair fractions for masked (degraded) plans; ``None`` for
+        pristine plans, matching the scheme contract."""
+        lv = self._level(k)
+        if lv.pair_weights is None:
+            return None
+        return lv.pair_weights[self._rows(k, s, d)]
 
     # -- lookups -------------------------------------------------------
     def _level(self, k: int) -> CompiledLevel:
@@ -166,13 +196,22 @@ class CompiledScheme:
         incidence (same contract as
         :func:`repro.routing.vectorized.compile_routes`)."""
         n = self.xgft.n_procs
+
+        def row_paths(lv: CompiledLevel, row: int) -> list[tuple[int, ...]]:
+            # Masked plans pad short rows with weight-0 duplicates; the
+            # flit simulator picks uniformly from the list, so padding
+            # must not reach it.
+            if lv.pair_weights is None:
+                return [tuple(map(int, path)) for path in lv.links[row]]
+            return [tuple(map(int, path))
+                    for path, w in zip(lv.links[row], lv.pair_weights[row])
+                    if w > 0.0]
+
         table: dict[int, list[tuple[int, ...]]] = {}
         if pairs is None:
             for lv in self.levels.values():
                 for row in range(lv.n_pairs):
-                    table[int(lv.keys[row])] = [
-                        tuple(map(int, path)) for path in lv.links[row]
-                    ]
+                    table[int(lv.keys[row])] = row_paths(lv, row)
             return table
         pairs = np.asarray(pairs, dtype=np.int64)
         s_all, d_all = pairs[:, 0], pairs[:, 1]
@@ -184,7 +223,7 @@ class CompiledScheme:
             lv = self._level(int(k))
             rows = self._rows(int(k), s_all[mask], d_all[mask])
             for key, row in zip(s_all[mask] * n + d_all[mask], rows):
-                table[int(key)] = [tuple(map(int, path)) for path in lv.links[row]]
+                table[int(key)] = row_paths(lv, int(row))
         return table
 
 
@@ -221,7 +260,11 @@ def compile_scheme(xgft: XGFT, scheme: RoutingScheme) -> CompiledScheme:
             links = path_link_matrix(xgft, s, d, idx, k)
             frac = np.asarray(scheme.fractions(k), dtype=np.float64)
             link_w = np.repeat(frac, 2 * k)
-            levels[k] = CompiledLevel(k, s, d, keys, idx, links, frac, link_w)
+            pair_w = scheme.path_weight_matrix(s, d, k)
+            if pair_w is not None:
+                pair_w = np.ascontiguousarray(pair_w, dtype=np.float64)
+            levels[k] = CompiledLevel(k, s, d, keys, idx, links, frac, link_w,
+                                      pair_w)
             counts[keys] = link_w.size
         indptr = np.zeros(n * n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
@@ -232,7 +275,7 @@ def compile_scheme(xgft: XGFT, scheme: RoutingScheme) -> CompiledScheme:
             width = lv.width
             target = indptr[lv.keys][:, None] + np.arange(width, dtype=np.int64)
             link_ids[target] = lv.links.reshape(lv.n_pairs, width)
-            link_weights[target] = lv.link_weights[None, :]
+            link_weights[target] = lv.pair_link_weights()
         plan = CompiledScheme(
             xgft, scheme.label, scheme.name, levels, indptr, link_ids, link_weights
         )
@@ -246,6 +289,7 @@ def compile_scheme(xgft: XGFT, scheme: RoutingScheme) -> CompiledScheme:
             nnz=plan.nnz,
             levels=sorted(levels),
             nbytes=plan.nbytes,
+            masked=plan.masked,
             seconds=perf_counter() - t0,
         )
     return plan

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.routing.base import LimitedMultipathScheme
 from repro.routing.enumeration import disjoint_order
-from repro.routing.modk import modk_path_index
+from repro.routing.modk import modk_path_index, shifted_order
 from repro.util.hashing import hash_combine, hash_mod, hash_uniform
 
 
@@ -35,6 +35,10 @@ class Shift1(LimitedMultipathScheme):
         offsets = np.arange(self.paths_per_pair(k), dtype=np.int64)
         return (t0[:, None] + offsets[None, :]) % x
 
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return shifted_order(self.xgft,
+                             modk_path_index(self.xgft, np.asarray(d), k), k)
+
 
 class Disjoint(LimitedMultipathScheme):
     """Disjoint heuristic (Section 4.2.3).
@@ -53,6 +57,12 @@ class Disjoint(LimitedMultipathScheme):
         t0 = modk_path_index(self.xgft, np.asarray(d), k)
         base = np.asarray(disjoint_order(self.xgft, k)[: self.paths_per_pair(k)],
                           dtype=np.int64)
+        return (t0[:, None] + base[None, :]) % x
+
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        x = self.xgft.W(k)
+        t0 = modk_path_index(self.xgft, np.asarray(d), k)
+        base = np.asarray(disjoint_order(self.xgft, k), dtype=np.int64)
         return (t0[:, None] + base[None, :]) % x
 
 
@@ -94,6 +104,25 @@ class RandomMultipath(LimitedMultipathScheme):
         part = np.argpartition(scores, p, axis=1)[:, :p]
         return np.sort(part, axis=1).astype(np.int64)
 
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        """All path indices ordered by hash score, except that the
+        selected prefix (which for ``P == 1`` is the ``hash_mod`` pick,
+        not the score minimum) always comes first: the length-``P``
+        prefix is the same *set* :meth:`path_index_matrix` keeps, and
+        under faults the next-best scores step in."""
+        s = np.asarray(s, dtype=np.int64)
+        d = np.asarray(d, dtype=np.int64)
+        x = self.xgft.W(k)
+        pair_key = hash_combine(np.uint64(self.seed), s * np.int64(self.xgft.n_procs) + d)
+        scores = hash_uniform(pair_key[:, None], np.arange(x, dtype=np.int64)[None, :])
+        if self.paths_per_pair(k) == 1 and x > 1:
+            # Selection uses hash_mod for P == 1; pin that pick to the
+            # front by giving it a score below every hash_uniform value.
+            first = hash_mod(x, pair_key)
+            scores = scores.copy()
+            scores[np.arange(len(s)), first] = -1.0
+        return np.argsort(scores, axis=1).astype(np.int64)
+
 
 class RandomSingle(RandomMultipath):
     """Random single-path routing [Greenberg & Leiserson]: one uniformly
@@ -133,3 +162,6 @@ class UMulti(LimitedMultipathScheme):
         x = self.xgft.W(k)
         n = len(np.asarray(s))
         return np.broadcast_to(np.arange(x, dtype=np.int64), (n, x)).copy()
+
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return self.path_index_matrix(s, d, k)

@@ -32,6 +32,16 @@ def modk_path_index(xgft: XGFT, key, k: int):
     return t
 
 
+def shifted_order(xgft: XGFT, t0: np.ndarray, k: int) -> np.ndarray:
+    """Full path order ``(t0 + j) mod X`` for ``j = 0..X-1`` — the shift
+    sequence starting at each pair's base path.  Shared by the mod-k
+    schemes and shift-1, whose fault fallback walks to the next shifted
+    copy of the base path."""
+    x = xgft.W(k)
+    offsets = np.arange(x, dtype=np.int64)
+    return (np.asarray(t0, dtype=np.int64)[:, None] + offsets[None, :]) % x
+
+
 class DModK(RoutingScheme):
     """Destination-mod-k single-path routing [5, 10, 15 in the paper]."""
 
@@ -42,6 +52,10 @@ class DModK(RoutingScheme):
 
     def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
         return modk_path_index(self.xgft, np.asarray(d), k)[:, None]
+
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return shifted_order(self.xgft,
+                             modk_path_index(self.xgft, np.asarray(d), k), k)
 
 
 class SModK(RoutingScheme):
@@ -55,3 +69,7 @@ class SModK(RoutingScheme):
 
     def path_index_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
         return modk_path_index(self.xgft, np.asarray(s), k)[:, None]
+
+    def path_order_matrix(self, s: np.ndarray, d: np.ndarray, k: int) -> np.ndarray:
+        return shifted_order(self.xgft,
+                             modk_path_index(self.xgft, np.asarray(s), k), k)

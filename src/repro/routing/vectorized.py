@@ -97,6 +97,17 @@ def compile_routes(
         idx = scheme.path_index_matrix(s, d, k)
         links = path_link_matrix(xgft, s, d, idx, k)
         keys = s * n + d
-        for row, key in enumerate(keys):
-            table[int(key)] = [tuple(map(int, path)) for path in links[row]]
+        pair_w = scheme.path_weight_matrix(s, d, k)
+        if pair_w is None:
+            for row, key in enumerate(keys):
+                table[int(key)] = [tuple(map(int, path)) for path in links[row]]
+        else:
+            # Fault-aware schemes pad short rows with weight-0 duplicates;
+            # concrete path lists must not contain them.
+            for row, key in enumerate(keys):
+                table[int(key)] = [
+                    tuple(map(int, path))
+                    for path, w in zip(links[row], pair_w[row])
+                    if w > 0.0
+                ]
     return table

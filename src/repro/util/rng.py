@@ -35,3 +35,34 @@ def spawn_generators(seed, n: int) -> list[np.random.Generator]:
         seed = int(seed.integers(0, 2**63 - 1))
     ss = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+#: registry of named substream keys — fixing the key per purpose (instead
+#: of positional spawning) means adding a new consumer never shifts the
+#: draws of an existing one.
+SUBSTREAMS = {
+    "fault-links": 1,
+    "fault-switches": 2,
+    "fault-order": 3,
+}
+
+
+def substream(seed, name: str) -> np.random.Generator:
+    """A named, statistically independent child stream of ``seed``.
+
+    Every stochastic subsystem that samples *alongside* others (fault
+    injection next to permutation sampling, link faults next to switch
+    faults) must draw from its own named substream rather than a shared
+    generator: the draws then depend only on ``(seed, name)``, never on
+    how many values other consumers happened to take first.  Names are
+    registered in :data:`SUBSTREAMS` so two purposes can never collide.
+    """
+    key = SUBSTREAMS.get(name)
+    if key is None:
+        raise KeyError(
+            f"unregistered substream {name!r}; add it to repro.util.rng.SUBSTREAMS"
+        )
+    if isinstance(seed, np.random.Generator):
+        seed = int(seed.integers(0, 2**63 - 1))
+    ss = np.random.SeedSequence(seed, spawn_key=(key,))
+    return np.random.default_rng(ss)

@@ -3,14 +3,43 @@
 Tests use small XGFT instances (tens to a few hundred nodes) so the whole
 suite stays fast; the structures exercised are identical to the paper's
 full-size topologies.
+
+Hypothesis profiles: the default (``dev``) profile explores freely; the
+``ci`` profile is derandomized with a capped example budget so CI runs
+are reproducible and bounded.  CI selects it via ``CI=true`` in the
+environment (or ``HYPOTHESIS_PROFILE=ci``).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.topology.variants import k_ary_n_tree, m_port_n_tree
 from repro.topology.xgft import XGFT
+
+settings.register_profile(
+    "dev", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, max_examples=15,
+    print_blob=True, suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE",
+                   "ci" if os.environ.get("CI") else "dev")
+)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current implementation "
+             "instead of comparing against them (see docs/testing.md)",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,133 @@
+"""Unit tests for the degraded-fabric mask (cables, switches, liveness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import DegradedFabric, cable_links, switch_links
+from repro.topology.variants import m_port_n_tree
+from repro.topology.xgft import XGFT
+
+
+class TestCableLinks:
+    def test_pairing_mirrors_endpoints(self, tree8x2):
+        up0, _ = tree8x2.boundary_link_slices(0)
+        up1, _ = tree8x2.boundary_link_slices(1)
+        for up in list(range(up0.start, up0.stop))[::5] + \
+                list(range(up1.start, up1.stop))[::7]:
+            u, d = cable_links(tree8x2, up)
+            assert u == up
+            uref, dref = tree8x2.link_ref(u), tree8x2.link_ref(d)
+            assert dref.kind.value == "down"
+            assert dref.src_index == uref.dst_index
+            assert dref.dst_index == uref.src_index
+            assert dref.src_level == uref.dst_level
+
+    def test_rejects_down_link(self, tree8x2):
+        _, down = tree8x2.boundary_link_slices(0)
+        with pytest.raises(FaultError, match="down link"):
+            cable_links(tree8x2, down.start)
+
+
+class TestSwitchLinks:
+    @pytest.mark.parametrize("level,index", [(1, 0), (1, 5), (2, 3)])
+    def test_incident_links_touch_the_switch(self, tree8x3, level, index):
+        links = switch_links(tree8x3, level, index)
+        expected = 2 * tree8x3.m[level - 1]
+        if level < tree8x3.h:
+            expected += 2 * tree8x3.w[level]
+        assert len(links) == len(set(links)) == expected
+        for c in links:
+            ref = tree8x3.link_ref(c)
+            assert ((ref.src_level, ref.src_index) == (level, index)
+                    or (ref.dst_level, ref.dst_index) == (level, index))
+
+    def test_bad_coordinates(self, tree8x2):
+        with pytest.raises(FaultError):
+            switch_links(tree8x2, 0, 0)
+        with pytest.raises(FaultError):
+            switch_links(tree8x2, 1, tree8x2.level_size(1))
+
+
+class TestDegradedFabric:
+    def test_pristine(self, tree8x2):
+        fabric = DegradedFabric(tree8x2)
+        assert fabric.is_pristine
+        assert fabric.is_connected
+        assert fabric.tag == "pristine"
+        assert fabric.alive_fraction == 1.0
+        assert fabric.n_failed_links == 0
+
+    def test_cable_kills_both_directions(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        cable = up1.start + 3
+        fabric = DegradedFabric(tree8x2, failed_cables=[cable])
+        up, down = cable_links(tree8x2, cable)
+        assert not fabric.link_ok[up] and not fabric.link_ok[down]
+        assert fabric.n_failed_links == 2
+        assert fabric.n_failed_cables == 1
+        assert fabric.tag == "1c0s"
+
+    def test_switch_kills_all_incident_links(self, tree8x3):
+        fabric = DegradedFabric(tree8x3, failed_switches=[(2, 7)])
+        dead = switch_links(tree8x3, 2, 7)
+        assert not fabric.link_ok[dead].any()
+        assert fabric.n_failed_links == len(dead)
+
+    def test_mask_is_readonly(self, tree8x2):
+        fabric = DegradedFabric(tree8x2)
+        with pytest.raises(ValueError):
+            fabric.link_ok[0] = False
+
+    def test_critical_host_cable_disconnects(self, tree8x2):
+        # w_1 = 1 in every m-port tree: a host's single uplink is a
+        # single point of failure.
+        up0, _ = tree8x2.boundary_link_slices(0)
+        fabric = DegradedFabric(tree8x2, failed_cables=[up0.start])
+        assert not fabric.is_connected
+
+    def test_single_upper_cable_keeps_connectivity(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x2, failed_cables=[up1.start])
+        assert fabric.is_connected
+
+    def test_path_alive_matrix(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x2, failed_cables=[up1.start])
+        n = tree8x2.n_procs
+        s = np.array([0]); d = np.array([n - 1])
+        x = tree8x2.max_paths
+        alive = fabric.path_alive_matrix(
+            s, d, np.arange(x, dtype=np.int64)[None, :], tree8x2.h)
+        # Exactly one of the pair's paths used the dead cable.
+        assert alive.sum() == x - 1
+
+    def test_describe_names_damage(self, tree8x3):
+        up1, _ = tree8x3.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x3, failed_cables=[up1.start],
+                                failed_switches=[(2, 0)])
+        text = fabric.describe()
+        assert "dead cable" in text and "dead switch" in text
+
+    def test_connectivity_on_irregular_tree(self, irregular):
+        fabric = DegradedFabric(irregular)
+        assert fabric.is_connected
+
+    def test_multi_level_xgft_switch_failure(self):
+        xgft = XGFT(3, (4, 4, 4), (1, 4, 2))
+        fabric = DegradedFabric(xgft, failed_switches=[(3, 0)])
+        assert fabric.is_connected  # W(3) = 8 top switches, one lost
+        assert fabric.n_failed_switches == 1
+
+
+def test_m_port_tree_cable_pairing_exhaustive():
+    xgft = m_port_n_tree(4, 2)
+    for boundary in range(xgft.h):
+        up, _ = xgft.boundary_link_slices(boundary)
+        for cable in range(up.start, up.stop):
+            u, d = cable_links(xgft, cable)
+            uref, dref = xgft.link_ref(u), xgft.link_ref(d)
+            assert (uref.src_level, uref.src_index) == (dref.dst_level,
+                                                        dref.dst_index)

@@ -1,0 +1,101 @@
+"""Unit tests for FaultSpec: validation, determinism, pools, telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSpec, samplable_cables, samplable_switches
+from repro.obs import Recorder, use_recorder
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"link_rate": -0.1}, {"link_rate": 1.0},
+        {"switch_rate": -0.01}, {"switch_rate": 1.5},
+    ])
+    def test_bad_rates(self, kwargs):
+        with pytest.raises(FaultError, match="must be in"):
+            FaultSpec(**kwargs)
+
+    def test_trivial(self):
+        assert FaultSpec().is_trivial
+        assert not FaultSpec(link_rate=0.1).is_trivial
+        assert not FaultSpec(links=(5,)).is_trivial
+
+    def test_trivial_spec_samples_pristine(self, tree8x2):
+        assert FaultSpec().sample(tree8x2).is_pristine
+
+
+class TestPools:
+    def test_host_uplinks_excluded_by_default(self, tree8x2):
+        pool = samplable_cables(tree8x2)
+        up0, _ = tree8x2.boundary_link_slices(0)
+        assert not np.isin(np.arange(up0.start, up0.stop), pool).any()
+        full = samplable_cables(tree8x2, spare_critical=False)
+        assert len(full) > len(pool)
+
+    def test_level1_switches_excluded_when_w1_is_1(self, tree8x3):
+        pool = samplable_switches(tree8x3)
+        assert all(level > 1 for level, _ in pool)
+        full = samplable_switches(tree8x3, spare_critical=False)
+        assert any(level == 1 for level, _ in full)
+
+    def test_pool_sizes(self, tree8x3):
+        # Boundaries 1 and 2 are eligible: W(2) = 4, W(3) = 16.
+        up1, _ = tree8x3.boundary_link_slices(1)
+        up2, _ = tree8x3.boundary_link_slices(2)
+        want = (up1.stop - up1.start) + (up2.stop - up2.start)
+        assert len(samplable_cables(tree8x3)) == want
+
+
+class TestSampling:
+    def test_deterministic(self, tree8x3):
+        spec = FaultSpec(link_rate=0.1, switch_rate=0.05, seed=42)
+        a, b = spec.sample(tree8x3), spec.sample(tree8x3)
+        assert a.failed_cables == b.failed_cables
+        assert a.failed_switches == b.failed_switches
+        np.testing.assert_array_equal(a.link_ok, b.link_ok)
+
+    def test_seed_changes_the_draw(self, tree8x3):
+        a = FaultSpec(link_rate=0.1, seed=0).sample(tree8x3)
+        b = FaultSpec(link_rate=0.1, seed=1).sample(tree8x3)
+        assert a.failed_cables != b.failed_cables
+
+    def test_count_follows_rate(self, tree8x3):
+        pool = samplable_cables(tree8x3)
+        fabric = FaultSpec(link_rate=0.25, seed=3).sample(tree8x3)
+        assert fabric.n_failed_cables == round(0.25 * len(pool))
+        assert all(c in pool for c in fabric.failed_cables)
+
+    def test_explicit_elements_always_included(self, tree8x3):
+        up1, _ = tree8x3.boundary_link_slices(1)
+        spec = FaultSpec(link_rate=0.05, links=(up1.start,),
+                         switches=((2, 1),), seed=9)
+        fabric = spec.sample(tree8x3)
+        assert up1.start in fabric.failed_cables
+        assert (2, 1) in fabric.failed_switches
+
+    def test_explicit_critical_cable_is_not_filtered(self, tree8x2):
+        up0, _ = tree8x2.boundary_link_slices(0)
+        fabric = FaultSpec(links=(up0.start,)).sample(tree8x2)
+        assert not fabric.is_connected
+
+
+class TestTelemetry:
+    def test_sample_emits_counters_and_event(self, tree8x3):
+        rec = Recorder()
+        with use_recorder(rec):
+            FaultSpec(link_rate=0.1, seed=5).sample(tree8x3)
+        assert rec.counters["faults.fabrics_sampled"] == 1
+        assert rec.counters["faults.cables_failed"] > 0
+        events = rec.events_of("faults_injected")
+        assert len(events) == 1
+        assert events[0]["link_rate"] == 0.1
+        assert events[0]["cables"]
+        assert 0.0 < events[0]["alive_fraction"] < 1.0
+
+    def test_noop_recorder_costs_nothing(self, tree8x3):
+        fabric = FaultSpec(link_rate=0.1, seed=5).sample(tree8x3)
+        assert fabric.n_failed_cables > 0

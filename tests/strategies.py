@@ -1,0 +1,84 @@
+"""Shared Hypothesis strategies: random XGFT shapes, fault specs, schemes.
+
+Kept out of ``conftest.py`` so property tests import exactly what they
+use; everything here returns plain repro objects, no fixtures.  Shapes
+are bounded (``n_procs``, ``max_paths``) so a property example costs
+milliseconds, and degraded cases are conditioned on connectivity — the
+same rule the fault sweep applies (disconnection has its own tests).
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume
+from hypothesis import strategies as st
+
+from repro.faults import DegradedFabric, FaultSpec
+from repro.faults.spec import samplable_cables, samplable_switches
+from repro.routing.factory import make_scheme
+from repro.topology.xgft import XGFT
+
+
+@st.composite
+def xgfts(draw, max_height: int = 3, max_procs: int = 80,
+          max_paths: int = 16, min_procs: int = 4) -> XGFT:
+    """A random small XGFT(h; m; w) with bounded size and path count."""
+    h = draw(st.integers(min_value=1, max_value=max_height))
+    m = tuple(draw(st.integers(min_value=2, max_value=4)) for _ in range(h))
+    w = (draw(st.integers(min_value=1, max_value=2)),) + tuple(
+        draw(st.integers(min_value=1, max_value=3)) for _ in range(h - 1)
+    )
+    xgft = XGFT(h, m, w)
+    assume(min_procs <= xgft.n_procs <= max_procs)
+    assume(xgft.max_paths <= max_paths)
+    return xgft
+
+
+#: scheme-spec families; K is appended for the limited heuristics
+SCHEME_FAMILIES = ("d-mod-k", "s-mod-k", "umulti", "shift-1", "disjoint",
+                   "random")
+
+
+@st.composite
+def scheme_specs(draw, xgft: XGFT) -> str:
+    """A scheme spec string valid on ``xgft`` (e.g. ``"disjoint:2"``)."""
+    family = draw(st.sampled_from(SCHEME_FAMILIES))
+    if family in ("d-mod-k", "s-mod-k", "umulti"):
+        return family
+    k = draw(st.integers(min_value=1, max_value=xgft.max_paths))
+    return f"{family}:{k}"
+
+
+@st.composite
+def schemes(draw, xgft: XGFT):
+    """A constructed scheme on ``xgft``."""
+    return make_scheme(xgft, draw(scheme_specs(xgft)))
+
+
+@st.composite
+def fault_specs(draw, xgft: XGFT) -> FaultSpec:
+    """A fault spec whose random sampling is non-critical on ``xgft``."""
+    link_rate = 0.0
+    switch_rate = 0.0
+    if len(samplable_cables(xgft)):
+        link_rate = draw(st.floats(min_value=0.0, max_value=0.3))
+    if len(samplable_switches(xgft)):
+        switch_rate = draw(st.floats(min_value=0.0, max_value=0.2))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return FaultSpec(link_rate=link_rate, switch_rate=switch_rate, seed=seed)
+
+
+@st.composite
+def degraded_fabrics(draw, xgft: XGFT) -> DegradedFabric:
+    """A *connected* degraded fabric over ``xgft``."""
+    fabric = draw(fault_specs(xgft)).sample(xgft)
+    assume(fabric.is_connected)
+    return fabric
+
+
+@st.composite
+def degraded_cases(draw, **shape_kwargs):
+    """(xgft, fabric, scheme) triple: the full property-test input."""
+    xgft = draw(xgfts(**shape_kwargs))
+    fabric = draw(degraded_fabrics(xgft))
+    scheme = draw(schemes(xgft))
+    return xgft, fabric, scheme

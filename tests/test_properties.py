@@ -1,0 +1,144 @@
+"""Property-based invariants of the routing stack, pristine and degraded.
+
+Four families of invariants, each checked on random XGFT shapes drawn by
+:mod:`strategies` (and, where it matters, on random connected degraded
+fabrics):
+
+* per-pair traffic fractions always sum to 1;
+* every selected path is a valid shortest up-down path that avoids
+  every failed element;
+* shift-1 and disjoint collapse to d-mod-k at ``K = 1``;
+* every limited heuristic collapses to UMULTI at ``K >= X``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import DegradedScheme
+from repro.routing.factory import make_scheme
+from repro.routing.path import build_path, check_path
+
+from strategies import degraded_cases, schemes, xgfts
+
+#: per-test example budget; the CI profile in conftest.py may cap lower
+EXAMPLES = 30
+
+
+def _pairs_by_level(xgft):
+    """Yield ``(k, s, d)`` batches of every ordered pair per NCA level."""
+    n = xgft.n_procs
+    keys = np.arange(n * n, dtype=np.int64)
+    s, d = np.divmod(keys, n)
+    k_arr = xgft.nca_level(s, d)
+    for k in range(1, xgft.h + 1):
+        mask = k_arr == k
+        if mask.any():
+            yield k, s[mask], d[mask]
+
+
+def _weight_matrix(scheme, s, d, k):
+    """Per-pair fraction rows, materialized even for uniform schemes."""
+    w = scheme.path_weight_matrix(s, d, k)
+    if w is None:
+        w = np.broadcast_to(scheme.fractions(k), (len(s), scheme.paths_per_pair(k)))
+    return w
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(degraded_cases())
+def test_fractions_sum_to_one(case):
+    """Every pair's fractions sum to 1 — pristine and degraded alike."""
+    xgft, fabric, base = case
+    for scheme in (base, DegradedScheme(base, fabric)):
+        for k, s, d in _pairs_by_level(xgft):
+            w = _weight_matrix(scheme, s, d, k)
+            np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-12)
+            assert (w >= 0).all()
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(degraded_cases(max_procs=48))
+def test_selected_paths_are_valid_and_avoid_faults(case):
+    """Every positive-weight path is a structurally valid shortest
+    up-down path whose links all survive the fault set."""
+    xgft, fabric, base = case
+    scheme = DegradedScheme(base, fabric)
+    for k, s, d in _pairs_by_level(xgft):
+        idx = scheme.path_index_matrix(s, d, k)
+        w = _weight_matrix(scheme, s, d, k)
+        x = xgft.W(k)
+        assert ((idx >= 0) & (idx < x)).all()
+        # Spot-check a bounded subset of pairs at full structural depth.
+        step = max(1, len(s) // 12)
+        for row in range(0, len(s), step):
+            for t, frac in zip(idx[row], w[row]):
+                if frac <= 0.0:
+                    continue
+                path = build_path(xgft, int(s[row]), int(d[row]), int(t))
+                check_path(xgft, path)
+                assert all(fabric.link_ok[c] for c in path.links)
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(degraded_cases())
+def test_k1_collapses_to_dmodk(case):
+    """At K = 1 shift-1 selects exactly d-mod-k's path, pristine and
+    degraded (both re-route along the same +1 shift order); disjoint
+    matches on the pristine fabric (its re-route *order* differs)."""
+    xgft, fabric, _ = case
+    dmodk = make_scheme(xgft, "d-mod-k")
+    shift1 = make_scheme(xgft, "shift-1:1")
+    disjoint1 = make_scheme(xgft, "disjoint:1")
+    for k, s, d in _pairs_by_level(xgft):
+        want = dmodk.path_index_matrix(s, d, k)
+        np.testing.assert_array_equal(shift1.path_index_matrix(s, d, k), want)
+        np.testing.assert_array_equal(disjoint1.path_index_matrix(s, d, k), want)
+        got = DegradedScheme(shift1, fabric).path_index_matrix(s, d, k)
+        want_deg = DegradedScheme(dmodk, fabric).path_index_matrix(s, d, k)
+        np.testing.assert_array_equal(got, want_deg)
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(degraded_cases())
+def test_full_k_collapses_to_umulti(case):
+    """At K >= X every heuristic selects the whole (surviving) path set
+    with uniform fractions — i.e. is UMULTI on that fabric."""
+    xgft, fabric, _ = case
+    x = xgft.max_paths
+    umulti = DegradedScheme(make_scheme(xgft, "umulti"), fabric)
+    for family in ("shift-1", "disjoint", "random"):
+        scheme = DegradedScheme(make_scheme(xgft, f"{family}:{x}"), fabric)
+        for k, s, d in _pairs_by_level(xgft):
+            idx = scheme.path_index_matrix(s, d, k)
+            w = _weight_matrix(scheme, s, d, k)
+            ref_idx = umulti.path_index_matrix(s, d, k)
+            ref_w = _weight_matrix(umulti, s, d, k)
+            for row in range(len(s)):
+                live = {(int(t), round(float(f), 12))
+                        for t, f in zip(idx[row], w[row]) if f > 0}
+                ref = {(int(t), round(float(f), 12))
+                       for t, f in zip(ref_idx[row], ref_w[row]) if f > 0}
+                assert live == ref
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(st.data())
+def test_order_matrix_is_permutation_extending_selection(data):
+    """``path_order_matrix`` is a permutation of all X paths whose first
+    P entries are exactly the scheme's selected set — the contract the
+    degraded wrapper's re-routing relies on."""
+    xgft = data.draw(xgfts())
+    scheme = data.draw(schemes(xgft))
+    for k, s, d in _pairs_by_level(xgft):
+        order = scheme.path_order_matrix(s, d, k)
+        x = xgft.W(k)
+        assert order.shape == (len(s), x)
+        np.testing.assert_array_equal(np.sort(order, axis=1),
+                                      np.broadcast_to(np.arange(x), order.shape))
+        p = scheme.paths_per_pair(k)
+        idx = scheme.path_index_matrix(s, d, k)
+        np.testing.assert_array_equal(np.sort(order[:, :p], axis=1),
+                                      np.sort(idx, axis=1))
