@@ -69,7 +69,8 @@ from repro.flow import (
 # realization), repro.fabric (graph-based subnet-manager routing),
 # repro.analysis (theorem validators, exact LP ratios),
 # repro.experiments (the paper's tables and figures),
-# repro.obs (run telemetry: recorder, JSONL logs, manifests).
+# repro.obs (run telemetry: recorder, JSONL logs, manifests),
+# repro.runner (persistent pools, on-disk result cache, parallel sweeps).
 
 __version__ = "1.1.0"
 

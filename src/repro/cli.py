@@ -17,7 +17,12 @@ experiments additionally accept ``--engine {reference,compiled}`` to pick
 the evaluator (compiled = compile routes once, batch-evaluate rounds).
 Fault-aware experiments (``fault-sweep``) accept ``--fault-rate R[,R...]``
 (link failure rate grid), ``--fault-links ID[,ID...]`` (explicit failed
-cables) and ``--fault-seed N`` (fault sampler seed).
+cables) and ``--fault-seed N`` (fault sampler seed).  Flit-level sweep
+experiments (``table1``, ``figure5``) accept ``--jobs N`` (parallel grid
+fan-out over a process pool, bit-identical to serial), ``--cache`` /
+``--no-cache`` (replay completed sweep points from the on-disk result
+cache, making interrupted runs resumable) and ``--cache-dir DIR``
+(cache location, default ``.repro-cache/``).
 
 Topology specs: ``mport:8x3`` (8-port 3-tree), ``kary:4x2`` (4-ary
 2-tree), or an explicit ``xgft:3;4,4,8;1,4,4``.
@@ -122,6 +127,9 @@ def _cmd_experiment(args) -> int:
             fault_rate=_parse_csv(args.fault_rate, float, "--fault-rate"),
             fault_links=_parse_csv(args.fault_links, int, "--fault-links"),
             fault_seed=args.fault_seed,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
         )
         if not args.quiet:
             print(run.result.render())
@@ -192,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parent.add_argument(
         "--fault-seed", type=int, default=None, metavar="N",
         help="fault-sampler seed, independent of the traffic --seed")
+    obs_parent.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for flit sweep grids (table1, figure5); "
+             "results are bit-identical to a serial run for a fixed seed")
+    obs_parent.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="replay completed flit sweep points from the on-disk result "
+             "cache and store new ones (resumes interrupted sweeps); "
+             "--no-cache forces recomputation")
+    obs_parent.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache directory (default .repro-cache/; implies "
+             "--cache unless --no-cache is given)")
 
     for name, exp in EXPERIMENTS.items():
         p_exp = sub.add_parser(name, help=exp.description,

@@ -48,5 +48,10 @@ class SimulationError(ReproError):
     """Flow- or flit-level simulation misconfiguration."""
 
 
+class RunnerError(ReproError):
+    """Parallel-runner misuse (bad pool parameters, unknown context,
+    malformed cache directory, ...)."""
+
+
 class ResourceError(ReproError):
     """InfiniBand-style resource exhaustion (LID address space, ...)."""

@@ -83,11 +83,17 @@ def run(
     config: FlitConfig | None = None,
     curves: tuple[str, ...] = CURVES,
     seed: int | None = None,
+    n_jobs: int = 1,
+    cache=None,
 ) -> Figure5Result:
     """Regenerate Figure 5's delay curves.
 
     ``seed`` overrides the workload RNG seed (ignored when an explicit
-    ``config`` already carries one).
+    ``config`` already carries one).  ``n_jobs > 1`` fans the whole
+    (curve x load x repeat) grid out over one process pool and ``cache``
+    (a :class:`~repro.runner.cache.ResultCache`) replays completed
+    points from disk; both return results bit-identical to the serial
+    run for a fixed seed.
     """
     fid = fidelity(fidelity_name)
     xgft = topology if topology is not None else m_port_n_tree(8, 3)
@@ -97,9 +103,21 @@ def run(
         drain_cycles=fid.drain_cycles,
         seed=seed if seed is not None else 0,
     )
-    sweeps = {}
-    for spec in curves:
-        scheme = make_scheme(xgft, spec)
-        sweeps[spec] = load_sweep(xgft, scheme, cfg, loads=loads,
-                                  repeats=fid.flit_repeats)
+    if n_jobs > 1 or cache is not None:
+        # One grid, one pool: every curve's points share the workers and
+        # the shipped route tables (lazy import keeps the serial path
+        # free of the runner stack).
+        from repro.flit.engine import FlitSimulator
+        from repro.runner.sweep import run_sweeps
+
+        sims = {spec: FlitSimulator(xgft, make_scheme(xgft, spec), cfg)
+                for spec in curves}
+        sweeps = run_sweeps(sims, loads=loads, repeats=fid.flit_repeats,
+                            n_jobs=n_jobs, cache=cache)
+    else:
+        sweeps = {}
+        for spec in curves:
+            scheme = make_scheme(xgft, spec)
+            sweeps[spec] = load_sweep(xgft, scheme, cfg, loads=loads,
+                                      repeats=fid.flit_repeats)
     return Figure5Result(repr(xgft), tuple(loads), sweeps)

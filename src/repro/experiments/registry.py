@@ -27,7 +27,10 @@ class Experiment:
     ``--engine`` flag is only forwarded to those.  ``fault_aware`` marks
     runners accepting the fault-injection keywords (``fault_rate`` /
     ``fault_links`` / ``fault_seed``); the CLI's ``--fault-*`` flags are
-    only forwarded to those.
+    only forwarded to those.  ``runner_aware`` marks runners accepting
+    the parallel-execution keywords (``n_jobs`` / ``cache`` — the flit
+    sweep grids); the CLI's ``--jobs`` / ``--cache`` / ``--cache-dir``
+    flags are only forwarded to those.
     """
 
     name: str
@@ -35,6 +38,7 @@ class Experiment:
     runner: Callable[..., object]  # returns a result with .render()
     engine_aware: bool = False
     fault_aware: bool = False
+    runner_aware: bool = False
 
 
 def _figure4_runner(panel: str):
@@ -99,10 +103,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         for p in "abcd"
     },
     "table1": Experiment(
-        "table1", "Table 1: max throughput, uniform traffic, flit level", _table1
+        "table1", "Table 1: max throughput, uniform traffic, flit level",
+        _table1, runner_aware=True,
     ),
     "figure5": Experiment(
-        "figure5", "Figure 5: message delay vs offered load, flit level", _figure5
+        "figure5", "Figure 5: message delay vs offered load, flit level",
+        _figure5, runner_aware=True,
     ),
     "theorems": Experiment(
         "theorems", "Lemma 1 / Theorem 1 / Theorem 2 validation", _theorems
@@ -160,6 +166,9 @@ def run_instrumented(
     fault_rate: tuple[float, ...] | None = None,
     fault_links: tuple[int, ...] | None = None,
     fault_seed: int | None = None,
+    jobs: int | None = None,
+    cache: bool | None = None,
+    cache_dir: str | None = None,
     **kwargs,
 ) -> ExperimentRun:
     """Run an experiment under a recorder and attach a manifest.
@@ -174,7 +183,12 @@ def run_instrumented(
     than a silent no-op.  The fault keywords (``fault_rate`` failure-rate
     grid, ``fault_links`` explicit cable ids, ``fault_seed``) mirror
     that contract: forwarded to fault-aware experiments, an error
-    elsewhere.
+    elsewhere.  So do the runner keywords: ``jobs`` (worker processes)
+    and ``cache`` / ``cache_dir`` (on-disk result cache; ``cache_dir``
+    alone implies caching) reach runner-aware experiments as ``n_jobs``
+    and a :class:`~repro.runner.cache.ResultCache`, and are an error
+    elsewhere (``jobs=1`` / ``cache=False``, the do-nothing values, are
+    accepted everywhere).
     """
     rec = recorder if recorder is not None else get_recorder()
     experiment = get_experiment(name)
@@ -195,6 +209,23 @@ def run_instrumented(
                 f"(--fault-rate/--fault-links/--fault-seed)"
             )
         kwargs[key] = value
+    if jobs is not None:
+        if experiment.runner_aware:
+            kwargs["n_jobs"] = jobs
+        elif jobs != 1:
+            raise ReproError(
+                f"experiment {name!r} does not support --jobs"
+            )
+    want_cache = cache if cache is not None else (cache_dir is not None)
+    if want_cache:
+        if not experiment.runner_aware:
+            raise ReproError(
+                f"experiment {name!r} does not support --cache/--cache-dir"
+            )
+        from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+
+        kwargs["cache"] = ResultCache(
+            cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
     manifest = RunManifest.create(
         name, fidelity=fidelity_name, seed=seed,
         argv=tuple(argv) if argv is not None else None,

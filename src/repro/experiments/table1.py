@@ -58,6 +58,8 @@ def run(
     ks: tuple[int, ...] = K_VALUES,
     random_seeds: tuple[int, ...] = (0, 1),
     seed: int | None = None,
+    n_jobs: int = 1,
+    cache=None,
 ) -> Table1Result:
     """Regenerate Table 1.
 
@@ -65,6 +67,10 @@ def run(
     (the paper uses five; two keep the default run affordable — pass more
     for the full protocol).  ``seed`` overrides the workload RNG seed
     (ignored when an explicit ``config`` already carries one).
+    ``n_jobs > 1`` fans every (scheme x K x load x repeat) cell out over
+    one process pool and ``cache`` (a
+    :class:`~repro.runner.cache.ResultCache`) replays completed points
+    from disk; the table is bit-identical to the serial run either way.
     """
     fid = fidelity(fidelity_name)
     xgft = topology if topology is not None else m_port_n_tree(8, 3)
@@ -75,11 +81,36 @@ def run(
         seed=seed if seed is not None else 0,
     )
 
-    def max_thr(spec: str, seed: int = 0) -> float:
-        scheme = make_scheme(xgft, spec, seed=seed)
-        sweep = load_sweep(xgft, scheme, cfg, loads=loads,
-                           repeats=fid.flit_repeats)
-        return sweep.max_throughput
+    if n_jobs > 1 or cache is not None:
+        # Build the entire cell grid up front and sweep it through one
+        # pool.  Keys disambiguate random(K)'s routing seeds ("@s" —
+        # the scheme label repeats across seeds, the key must not).
+        from repro.flit.engine import FlitSimulator
+        from repro.runner.sweep import run_sweeps
+
+        def sim_for(spec: str, seed: int = 0) -> FlitSimulator:
+            return FlitSimulator(xgft, make_scheme(xgft, spec, seed=seed), cfg)
+
+        sims = {"d-mod-k": sim_for("d-mod-k")}
+        for k in ks:
+            for h in HEURISTICS:
+                if h == "random":
+                    for s in random_seeds:
+                        sims[f"random:{k}@{s}"] = sim_for(f"random:{k}", seed=s)
+                else:
+                    sims[f"{h}:{k}"] = sim_for(f"{h}:{k}")
+        sweeps = run_sweeps(sims, loads=loads, repeats=fid.flit_repeats,
+                            n_jobs=n_jobs, cache=cache)
+
+        def max_thr(spec: str, seed: int = 0) -> float:
+            key = f"{spec}@{seed}" if spec.startswith("random:") else spec
+            return sweeps[key].max_throughput
+    else:
+        def max_thr(spec: str, seed: int = 0) -> float:
+            scheme = make_scheme(xgft, spec, seed=seed)
+            sweep = load_sweep(xgft, scheme, cfg, loads=loads,
+                               repeats=fid.flit_repeats)
+            return sweep.max_throughput
 
     dmodk = max_thr("d-mod-k")
     cells: dict[str, list[float]] = {h: [] for h in HEURISTICS}

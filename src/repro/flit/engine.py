@@ -155,9 +155,29 @@ class FlitSimulator:
         ``routes`` maps pair keys ``src * n_hosts + dst`` to non-empty
         lists of channel-id paths; every ordered host pair that the
         workload can produce must be present.
+
+        Keys and channel ids are validated up front: a route referencing
+        a channel ``>= n_channels`` (or a key implying a negative or
+        out-of-range src/dst) would otherwise surface mid-event-loop as
+        a raw ``IndexError`` on the credit list, long after the bad
+        table was accepted.
         """
         if n_hosts < 1 or n_channels < 1:
             raise SimulationError("need at least one host and one channel")
+        n_pairs = n_hosts * n_hosts
+        for key, paths in routes.items():
+            if not 0 <= key < n_pairs:
+                raise SimulationError(
+                    f"pair key {key} outside [0, {n_pairs}); keys are "
+                    f"src * n_hosts + dst with src, dst in [0, {n_hosts})")
+            if not paths:
+                raise SimulationError(f"pair key {key} has no paths")
+            for path in paths:
+                for c in path:
+                    if not 0 <= c < n_channels:
+                        raise SimulationError(
+                            f"route for pair key {key} references channel "
+                            f"{c} outside [0, {n_channels})")
         sim = cls.__new__(cls)
         sim.xgft = None
         sim.scheme = None
@@ -166,9 +186,6 @@ class FlitSimulator:
         sim.degraded = None
         sim._n_procs = n_hosts
         sim._n_channels = n_channels
-        for key, paths in routes.items():
-            if not paths:
-                raise SimulationError(f"pair key {key} has no paths")
         return sim
 
     # ------------------------------------------------------------------

@@ -69,15 +69,35 @@ def load_sweep(
     loads: Sequence[float] | None = None,
     workload_factory: Callable[[float], Workload] = UniformRandom,
     repeats: int = 1,
+    n_jobs: int = 1,
+    pool=None,
+    cache=None,
 ) -> SweepResult:
     """Run ``scheme`` at each offered load with fresh Poisson workloads.
 
     ``repeats > 1`` averages several seeds per load point (results keep
     the mean of each statistic).  Routes are compiled once and shared by
     all runs.
+
+    ``n_jobs > 1`` fans the (load, repeat) grid out over a process pool
+    (:mod:`repro.runner`); ``pool`` reuses an externally owned
+    :class:`~repro.runner.pool.PersistentPool` and ``cache`` replays
+    completed points from an on-disk
+    :class:`~repro.runner.cache.ResultCache`.  Per-point seeds are
+    identical to the serial path (``config.seed + 1000 * repeat``), so
+    every execution mode returns bit-identical results.
     """
     rec = get_recorder()
     sim = FlitSimulator(xgft, scheme, config)
+    if n_jobs > 1 or pool is not None or cache is not None:
+        # Lazy import: repro.runner.sweep imports this module.
+        from repro.runner.sweep import run_sweeps
+
+        return run_sweeps(
+            {scheme.label: sim}, loads=loads, repeats=repeats,
+            workload_factory=workload_factory, n_jobs=n_jobs, pool=pool,
+            cache=cache,
+        )[scheme.label]
     results = []
     for load in (loads if loads is not None else default_loads()):
         with rec.timer("flit.load_point"):
@@ -109,13 +129,24 @@ def _merge_runs(runs: list[FlitRunResult]) -> FlitRunResult:
         vals = [v for v in vals if v == v]  # drop NaNs
         return float(np.mean(vals)) if vals else float("nan")
 
+    # Python's max() is order-sensitive around NaN (NaN wins every
+    # comparison it appears first in and loses every one it appears
+    # second in), so a saturated repeat could silently poison — or be
+    # silently dropped from — the merged maximum depending on run
+    # order.  Take the max over the finite repeats; NaN only when every
+    # repeat delivered nothing.
+    max_delays = np.asarray([r.max_delay for r in runs], dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        max_delay = (float(np.nanmax(max_delays))
+                     if np.any(~np.isnan(max_delays)) else float("nan"))
+
     return FlitRunResult(
         offered_load=runs[0].offered_load,
         injected_load=mean("injected_load"),
         throughput=mean("throughput"),
         mean_delay=mean("mean_delay"),
         p95_delay=mean("p95_delay"),
-        max_delay=max(r.max_delay for r in runs),
+        max_delay=max_delay,
         messages_measured=sum(r.messages_measured for r in runs),
         messages_completed=sum(r.messages_completed for r in runs),
         sim_cycles=max(r.sim_cycles for r in runs),

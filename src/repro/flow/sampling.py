@@ -17,11 +17,21 @@ is evaluated as one batched call
 workers, so workers skip route construction entirely.  Both engines
 consume the identical permutation stream for a fixed seed, so their
 samples agree to float tolerance.
+
+Pool lifecycle
+--------------
+Parallel sampling runs on a :class:`repro.runner.pool.PersistentPool`:
+one set of worker processes serves *every* adaptive round of a run (and
+every run of a seed family), and the evaluation context — the compiled
+plan or the (topology, scheme) pair — ships to each worker once per run
+rather than once per task.  A study created without an external
+``pool`` owns its pool and closes it when the outermost unit of work
+finishes (the run, or the whole seed family); use the study as a
+context manager to keep the pool warm across several ``run()`` calls.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -34,6 +44,7 @@ from repro.flow.simulator import ENGINES, FlowSimulator
 from repro.obs.recorder import Recorder, get_recorder, use_recorder
 from repro.routing.base import RoutingScheme
 from repro.routing.compiled import CompiledScheme, compile_scheme
+from repro.runner.pool import PersistentPool, load_context
 from repro.topology.xgft import XGFT
 from repro.traffic.permutations import permutation_matrix, random_permutation
 from repro.util.rng import as_generator
@@ -96,6 +107,22 @@ def _worker_batch_mloads(plan: CompiledScheme, seed: int, count: int,
     return loads, rec.snapshot()
 
 
+def _pool_sample_task(token: str, seed: int, count: int, record: bool):
+    """Persistent-pool worker: dispatch to the engine the study's
+    context was built for.
+
+    The context (compiled plan, or topology + scheme) crosses the
+    process boundary at most once per worker
+    (:func:`repro.runner.pool.load_context`); per-task arguments are
+    three scalars.  Delegates to the classic workers so samples are
+    identical to the historical per-round-pool implementation.
+    """
+    ctx = load_context(token)
+    if ctx["engine"] == "compiled":
+        return _worker_batch_mloads(ctx["plan"], seed, count, record)
+    return _worker_mloads(ctx["xgft"], ctx["scheme"], seed, count, record)
+
+
 @dataclass(frozen=True)
 class PermutationStudyResult:
     """Average maximum permutation load for one scheme.
@@ -143,6 +170,14 @@ class PermutationStudy:
         more spread each round's samples over a process pool — useful on
         the 3456-node panels where one sample costs milliseconds.
         Results are reproducible for a fixed ``(seed, n_jobs)`` pair.
+        The pool persists across adaptive rounds (and across the runs of
+        a seed family); see the module docstring for its lifecycle.
+    pool:
+        Optional externally owned
+        :class:`~repro.runner.pool.PersistentPool` shared with other
+        studies or runners.  The study never closes an external pool.
+        Chunking (and therefore the sample stream) is still governed by
+        ``n_jobs``, not by the pool's worker count.
     engine:
         ``"reference"`` evaluates one permutation at a time through
         :class:`FlowSimulator`; ``"compiled"`` compiles the scheme once
@@ -169,6 +204,7 @@ class PermutationStudy:
         n_jobs: int = 1,
         engine: str = "reference",
         recorder=None,
+        pool: PersistentPool | None = None,
     ):
         if initial_samples < 2:
             raise ValueError("need at least 2 initial samples for a CI")
@@ -189,6 +225,10 @@ class PermutationStudy:
         self._seed = seed
         self._recorder = recorder
         self._perm_optimal: float | None = None
+        self._external_pool = pool
+        self._owned_pool: PersistentPool | None = None
+        self._scope_depth = 0
+        self._ctx_token: str | None = None
 
     @property
     def permutation_optimal(self) -> float:
@@ -197,6 +237,33 @@ class PermutationStudy:
         if self._perm_optimal is None:
             self._perm_optimal = permutation_optimal_load(self.xgft)
         return self._perm_optimal
+
+    # -- pool lifecycle ------------------------------------------------
+    def _study_pool(self) -> PersistentPool:
+        """The pool parallel rounds submit to (external wins; an owned
+        one is created lazily and reused until :meth:`close`)."""
+        if self._external_pool is not None:
+            return self._external_pool
+        if self._owned_pool is None:
+            self._owned_pool = PersistentPool(self.n_jobs)
+        return self._owned_pool
+
+    def close(self) -> None:
+        """Shut down the study-owned worker pool (external pools are the
+        caller's to close).  Idempotent; a later run re-creates it."""
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
+
+    def __enter__(self) -> "PermutationStudy":
+        """Keep the owned pool warm across several ``run()`` calls."""
+        self._scope_depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._scope_depth -= 1
+        if self._scope_depth == 0:
+            self.close()
 
     def _mload_samples(self, scheme: RoutingScheme, count: int, rng,
                        rec, batch: BatchFlowEngine | None) -> list[float]:
@@ -214,30 +281,26 @@ class PermutationStudy:
             rec.count("flow.samples", count)
             return out
         # Parallel: split the round into per-worker chunks with
-        # independent child seeds drawn from the study's stream.
+        # independent child seeds drawn from the study's stream.  The
+        # chunk/seed arithmetic is what fixes the sample stream for a
+        # given (seed, n_jobs) — the persistent pool underneath carries
+        # no randomness, so it matches the historical per-round pools.
         jobs = min(self.n_jobs, count)
         base, extra = divmod(count, jobs)
         chunks = [base + (1 if i < extra else 0) for i in range(jobs)]
         seeds = [int(rng.integers(0, 2**62)) for _ in chunks]
         out = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            if batch is not None:
-                futures = [
-                    pool.submit(_worker_batch_mloads, batch.plan, seed, chunk,
-                                rec.enabled)
-                    for seed, chunk in zip(seeds, chunks) if chunk
-                ]
-            else:
-                futures = [
-                    pool.submit(_worker_mloads, self.xgft, scheme, seed, chunk,
-                                rec.enabled)
-                    for seed, chunk in zip(seeds, chunks) if chunk
-                ]
-            for future in futures:
-                loads, snapshot = future.result()
-                out.extend(loads)
-                if snapshot is not None:
-                    rec.merge(snapshot)
+        pool = self._study_pool()
+        futures = [
+            pool.submit(_pool_sample_task, self._ctx_token, seed, chunk,
+                        rec.enabled)
+            for seed, chunk in zip(seeds, chunks) if chunk
+        ]
+        for future in futures:
+            loads, snapshot = future.result()
+            out.extend(loads)
+            if snapshot is not None:
+                rec.merge(snapshot)
         return out
 
     def run(self, scheme: RoutingScheme | CompiledScheme) -> PermutationStudyResult:
@@ -248,35 +311,48 @@ class PermutationStudy:
         samples: list[float] = []
         target = self.initial_samples
         round_index = 0
-        with use_recorder(rec):
-            batch = None
-            if self.engine == "compiled" or isinstance(scheme, CompiledScheme):
-                # Compile once; every round reuses the plan.
-                batch = BatchFlowEngine(compile_scheme(self.xgft, scheme))
-            optimal = self.permutation_optimal
-            while True:
-                with rec.timer("flow.sampling.round"):
-                    samples.extend(self._mload_samples(
-                        scheme, target - len(samples), rng, rec, batch))
-                interval = confidence_interval(samples, self.confidence)
-                if rec.enabled:
-                    rec.event(
-                        "convergence_round",
-                        scheme=scheme.label,
-                        round=round_index,
-                        n_samples=interval.n_samples,
-                        mean=interval.mean,
-                        half_width=interval.half_width,
-                        rel_half_width=interval.relative_half_width,
-                    )
-                round_index += 1
-                if interval.meets(self.rel_precision):
-                    converged = True
-                    break
-                if len(samples) >= self.max_samples:
-                    converged = False
-                    break
-                target = min(2 * len(samples), self.max_samples)
+        try:
+            with use_recorder(rec):
+                batch = None
+                if self.engine == "compiled" or isinstance(scheme, CompiledScheme):
+                    # Compile once; every round reuses the plan.
+                    batch = BatchFlowEngine(compile_scheme(self.xgft, scheme))
+                if self.n_jobs > 1:
+                    # Ship the evaluation context to the pool once per
+                    # run; every round's tasks reference it by token.
+                    ctx = ({"engine": "compiled", "plan": batch.plan}
+                           if batch is not None else
+                           {"engine": "reference", "xgft": self.xgft,
+                            "scheme": scheme})
+                    self._ctx_token = self._study_pool().put_context(ctx)
+                optimal = self.permutation_optimal
+                while True:
+                    with rec.timer("flow.sampling.round"):
+                        samples.extend(self._mload_samples(
+                            scheme, target - len(samples), rng, rec, batch))
+                    interval = confidence_interval(samples, self.confidence)
+                    if rec.enabled:
+                        rec.event(
+                            "convergence_round",
+                            scheme=scheme.label,
+                            round=round_index,
+                            n_samples=interval.n_samples,
+                            mean=interval.mean,
+                            half_width=interval.half_width,
+                            rel_half_width=interval.relative_half_width,
+                        )
+                    round_index += 1
+                    if interval.meets(self.rel_precision):
+                        converged = True
+                        break
+                    if len(samples) >= self.max_samples:
+                        converged = False
+                        break
+                    target = min(2 * len(samples), self.max_samples)
+        finally:
+            self._ctx_token = None
+            if self._scope_depth == 0:
+                self.close()
         if rec.enabled:
             rec.count("flow.studies", 1)
         return PermutationStudyResult(
@@ -297,12 +373,13 @@ class PermutationStudy:
         all_samples: list[float] = []
         label = None
         converged = True
-        for seed in seeds:
-            scheme = make_scheme(seed)
-            label = scheme.label
-            result = self.run(scheme)
-            converged = converged and result.converged
-            all_samples.extend(result.samples.tolist())
+        with self:  # one worker pool spans every seed's run
+            for seed in seeds:
+                scheme = make_scheme(seed)
+                label = scheme.label
+                result = self.run(scheme)
+                converged = converged and result.converged
+                all_samples.extend(result.samples.tolist())
         interval = confidence_interval(all_samples, self.confidence)
         return PermutationStudyResult(
             label or "random", interval, np.asarray(all_samples), converged,

@@ -66,6 +66,23 @@ class TestMergeRuns:
                               _mk_run(0.2, 0.2, 60.0)])
         assert merged.mean_delay == pytest.approx(60.0)
 
+    def test_max_delay_ignores_nan_in_any_position(self):
+        # Python's max() is order-sensitive around NaN; the merge must
+        # not be: a saturated (NaN) repeat never masks a finite maximum.
+        nan = float("nan")
+        first = _merge_runs([_mk_run(0.2, 0.2, nan), _mk_run(0.2, 0.2, 60.0)])
+        last = _merge_runs([_mk_run(0.2, 0.2, 60.0), _mk_run(0.2, 0.2, nan)])
+        middle = _merge_runs([_mk_run(0.2, 0.2, 40.0), _mk_run(0.2, 0.2, nan),
+                              _mk_run(0.2, 0.2, 60.0)])
+        assert first.max_delay == 60.0
+        assert last.max_delay == 60.0
+        assert middle.max_delay == 60.0
+
+    def test_max_delay_nan_only_when_all_nan(self):
+        nan = float("nan")
+        merged = _merge_runs([_mk_run(0.2, 0.2, nan), _mk_run(0.2, 0.2, nan)])
+        assert math.isnan(merged.max_delay)
+
 
 class TestLoadSweep:
     def test_small_sweep_monotone_prefix(self):

@@ -123,6 +123,90 @@ class TestParallel:
         np.testing.assert_allclose(comp.samples, ref.samples, atol=1e-9)
 
 
+class TestPoolLifecycle:
+    """The pool-churn fix: one pool per run (or per scoped run group),
+    not one per adaptive round."""
+
+    def test_one_pool_across_adaptive_rounds(self, tree8x2):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        # rel_precision=-1 forces the full doubling ladder: 4 -> 8 -> 16
+        # samples = 3 rounds, which used to mean 3 executors.
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=16,
+                                 rel_precision=-1.0, seed=5, n_jobs=2,
+                                 recorder=rec)
+        study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert rec.timers["flow.sampling.round"][1] == 3
+        assert rec.counters["runner.pool_created"] == 1
+        assert rec.counters["runner.context_spilled"] == 1
+
+    def test_one_pool_across_seed_family(self, tree8x2):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=4,
+                                 rel_precision=1.0, seed=1, n_jobs=2,
+                                 recorder=rec)
+        study.run_seed_family(
+            lambda seed: RandomMultipath(tree8x2, 2, seed=seed),
+            seeds=(0, 1, 2))
+        assert rec.counters["runner.pool_created"] == 1
+        # ...but each seed's scheme ships as its own context.
+        assert rec.counters["runner.context_spilled"] == 3
+        assert study._owned_pool is None  # released with the family
+
+    def test_owned_pool_released_after_run(self, tree8x2):
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=4,
+                                 rel_precision=1.0, seed=1, n_jobs=2)
+        study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert study._owned_pool is None
+
+    def test_context_manager_keeps_pool_warm_across_runs(self, tree8x2):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        study = PermutationStudy(tree8x2, initial_samples=4, max_samples=4,
+                                 rel_precision=1.0, seed=1, n_jobs=2,
+                                 recorder=rec)
+        with study:
+            study.run(make_scheme(tree8x2, "d-mod-k"))
+            pool = study._owned_pool
+            assert pool is not None and pool.running
+            study.run(make_scheme(tree8x2, "disjoint:2"))
+            assert study._owned_pool is pool
+        assert study._owned_pool is None
+        assert rec.counters["runner.pool_created"] == 1
+
+    def test_external_pool_shared_and_never_closed(self, tree8x2):
+        from repro.obs import Recorder
+        from repro.runner.pool import PersistentPool
+
+        rec = Recorder()
+        with PersistentPool(2) as pool:
+            for seed in (1, 2):
+                study = PermutationStudy(
+                    tree8x2, initial_samples=4, max_samples=4,
+                    rel_precision=1.0, seed=seed, n_jobs=2, recorder=rec,
+                    pool=pool)
+                study.run(make_scheme(tree8x2, "d-mod-k"))
+                assert study._owned_pool is None
+            assert pool.running  # studies never close an external pool
+        assert rec.counters["runner.pool_created"] == 1
+
+    def test_persistent_pool_preserves_sample_stream(self, tree8x2):
+        """The pool-churn fix must not change the drawn samples: a scoped
+        multi-round run reproduces an unscoped one exactly."""
+        kwargs = dict(initial_samples=4, max_samples=16, rel_precision=-1.0,
+                      seed=5, n_jobs=2)
+        plain = PermutationStudy(tree8x2, **kwargs).run(
+            make_scheme(tree8x2, "d-mod-k"))
+        scoped_study = PermutationStudy(tree8x2, **kwargs)
+        with scoped_study:
+            scoped = scoped_study.run(make_scheme(tree8x2, "d-mod-k"))
+        assert np.array_equal(plain.samples, scoped.samples)
+
+
 class TestValidation:
     def test_bad_parameters(self, tree8x2):
         with pytest.raises(ValueError):

@@ -1,0 +1,103 @@
+"""ResultCache: round-trip fidelity, invalidation, crash tolerance."""
+
+import math
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.flit.stats import FlitRunResult
+from repro.obs.recorder import Recorder, use_recorder
+from repro.runner.cache import ResultCache, cache_key
+
+
+def _mk_result(**overrides):
+    base = dict(
+        offered_load=0.3, injected_load=0.29, throughput=0.28,
+        mean_delay=41.25, p95_delay=60.5, max_delay=97.0,
+        messages_measured=120, messages_completed=118,
+        sim_cycles=10_000, events=54_321,
+    )
+    base.update(overrides)
+    return FlitRunResult(**base)
+
+
+class TestCacheKey:
+    def test_order_insensitive(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert cache_key({"seed": 0}) != cache_key({"seed": 1})
+
+    def test_non_json_values_hash_via_repr(self):
+        key = cache_key({"workload": object})  # a type, not JSON-able
+        assert len(key) == 64
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        rec = Recorder()
+        with use_recorder(rec):
+            cache = ResultCache(tmp_path)
+            key = cache_key({"p": 1})
+            assert cache.get(key) is None
+            cache.put(key, _mk_result())
+            assert cache.get(key) == _mk_result()
+        assert rec.counters["runner.cache_miss"] == 1
+        assert rec.counters["runner.cache_hit"] == 1
+        assert rec.counters["runner.cache_store"] == 1
+
+    def test_exact_float_and_nan_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stored = _mk_result(mean_delay=float("nan"), throughput=0.1 + 0.2)
+        cache.put("k", stored)
+        loaded = ResultCache(tmp_path).get("k")  # fresh instance: from disk
+        assert loaded.throughput == stored.throughput  # bit-exact
+        assert math.isnan(loaded.mean_delay)
+
+    def test_put_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _mk_result())
+        cache.put("k", _mk_result(throughput=0.99))  # first write wins
+        assert len(ResultCache(tmp_path)) == 1
+        assert ResultCache(tmp_path).get("k").throughput == 0.28
+
+    def test_len_and_contains(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0 and "k" not in cache
+        cache.put("k", _mk_result())
+        assert len(cache) == 1 and "k" in cache
+
+
+class TestInvalidation:
+    def test_version_mismatch_skipped_and_counted(self, tmp_path):
+        ResultCache(tmp_path, version="v1").put("k", _mk_result())
+        rec = Recorder()
+        with use_recorder(rec):
+            newer = ResultCache(tmp_path, version="v2")
+            assert newer.get("k") is None
+        assert newer.stale_entries == 1
+        assert rec.counters["runner.cache_invalidated"] == 1
+        assert rec.counters["runner.cache_miss"] == 1
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _mk_result())
+        with open(cache.path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn", "vers')  # interrupted mid-write
+        rec = Recorder()
+        with use_recorder(rec):
+            reread = ResultCache(tmp_path)
+            assert reread.get("k") == _mk_result()
+        assert rec.counters["runner.cache_corrupt"] == 1
+
+    def test_directory_collision_rejected(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied")
+        with pytest.raises(RunnerError, match="not a directory"):
+            ResultCache(target)
+
+    def test_missing_directory_is_empty_until_first_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "fresh")
+        assert cache.get("k") is None  # no directory created by probing
+        cache.put("k", _mk_result())
+        assert (tmp_path / "fresh").is_dir()
