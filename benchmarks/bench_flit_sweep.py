@@ -13,14 +13,14 @@ ways on one topology —
 
 verifies all four produce bit-identical ``SweepResult`` values, checks
 via telemetry that the warm pass computed nothing, and writes a JSON
-report (``BENCH_flit.json``) with wall times, the parallel speedup and
+report (``bench_flit_report.json``) with wall times, the parallel speedup and
 the cache replay speedup.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_flit_sweep.py \
         [--topology mport:8x3] [--jobs 4] [--repeats 2] [--smoke] \
-        [--out BENCH_flit.json]
+        [--out bench_flit_report.json]
 
 ``--smoke`` shrinks the topology, window and load grid so CI finishes
 in seconds; every parity and telemetry check still runs at full
@@ -142,7 +142,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="small topology/window/grid for CI")
     parser.add_argument("--seed", type=int, default=2012)
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="write the JSON report here (e.g. BENCH_flit.json)")
+                        help="write the JSON report here (e.g. bench_flit_report.json)")
     args = parser.parse_args(argv)
 
     if args.smoke:

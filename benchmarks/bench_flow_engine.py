@@ -9,7 +9,7 @@ Times the permutation-MLOAD hot path both ways on one topology —
   whole batch —
 
 verifies both engines agree to 1e-9 on every sample, and writes a JSON
-report (``BENCH_flow.json``) with permutations/sec per scheme and the
+report (``bench_flow_report.json``) with permutations/sec per scheme and the
 speedup.  The acceptance bar for the compiled engine is a >= 5x speedup
 on the default ``mport:8x3`` study.
 
@@ -17,7 +17,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_flow_engine.py \
         [--topology mport:8x3] [--samples 256] [--smoke] \
-        [--out BENCH_flow.json]
+        [--out bench_flow_report.json]
 
 ``--smoke`` shrinks the sample count so CI finishes in seconds; the
 parity check still runs at full strength.
@@ -138,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small sample count for CI (implies --samples 64)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="write the JSON report here (e.g. BENCH_flow.json)")
+                        help="write the JSON report here (e.g. bench_flow_report.json)")
     args = parser.parse_args(argv)
     samples = 64 if args.smoke else args.samples
 

@@ -41,7 +41,8 @@ from repro.analysis.ci import ConfidenceInterval, confidence_interval
 from repro.flow.engine import BatchFlowEngine
 from repro.flow.metrics import permutation_optimal_load
 from repro.flow.simulator import ENGINES, FlowSimulator
-from repro.obs.recorder import Recorder, get_recorder, use_recorder
+from repro.obs.recorder import get_recorder, use_recorder
+from repro.obs.trace import span
 from repro.routing.base import RoutingScheme
 from repro.routing.compiled import CompiledScheme, compile_scheme
 from repro.runner.pool import PersistentPool, load_context
@@ -51,63 +52,51 @@ from repro.util.rng import as_generator
 
 
 def _worker_mloads(xgft: XGFT, scheme: RoutingScheme, seed: int,
-                   count: int, record: bool = False):
+                   count: int) -> list[float]:
     """Process-pool worker: sample ``count`` permutation max loads.
 
     Module-level so it pickles; every argument is a plain picklable
-    object (XGFT/schemes carry only tuples and ints).  Returns
-    ``(loads, recorder_snapshot_or_None)``: when ``record`` is set the
-    worker runs under its own :class:`~repro.obs.Recorder` and ships its
-    state back for the parent to merge.
+    object (XGFT/schemes carry only tuples and ints).  Records into the
+    ambient recorder — inert inline, the per-task recorder when run
+    through :meth:`~repro.runner.pool.PersistentPool.submit_task`
+    (which ships the snapshot back for the parent to merge).
     """
     sim = FlowSimulator(xgft)
     rng = np.random.default_rng(seed)
-
-    def draw() -> list[float]:
-        return [
+    rec = get_recorder()
+    with rec.timer("flow.sampling.worker"):
+        loads = [
             sim.max_load(scheme, permutation_matrix(
                 random_permutation(xgft.n_procs, rng)))
             for _ in range(count)
         ]
-
-    if not record:
-        return draw(), None
-    rec = Recorder()
-    with use_recorder(rec), rec.timer("flow.sampling.worker"):
-        loads = draw()
     rec.count("flow.samples", count)
-    return loads, rec.snapshot()
+    return loads
 
 
-def _worker_batch_mloads(plan: CompiledScheme, seed: int, count: int,
-                         record: bool = False):
+def _worker_batch_mloads(plan: CompiledScheme, seed: int,
+                         count: int) -> list[float]:
     """Compiled-engine pool worker: evaluate ``count`` permutations in
     one batched call against a precompiled routing plan.
 
     Draws the same permutation stream as :func:`_worker_mloads` for the
     same seed, so reference and compiled parallel runs agree sample for
     sample.  Recorder handling mirrors the reference worker exactly
-    (same span name, same ``flow.samples`` counter) so merged telemetry
-    is engine-independent.
+    (same timer name, same ``flow.samples`` counter) so merged
+    telemetry is engine-independent.
     """
     engine = BatchFlowEngine(plan)
     rng = np.random.default_rng(seed)
     n = plan.xgft.n_procs
-
-    def draw() -> list[float]:
+    rec = get_recorder()
+    with rec.timer("flow.sampling.worker"):
         perms = np.stack([random_permutation(n, rng) for _ in range(count)])
-        return engine.permutation_mloads(perms).tolist()
-
-    if not record:
-        return draw(), None
-    rec = Recorder()
-    with use_recorder(rec), rec.timer("flow.sampling.worker"):
-        loads = draw()
+        loads = engine.permutation_mloads(perms).tolist()
     rec.count("flow.samples", count)
-    return loads, rec.snapshot()
+    return loads
 
 
-def _pool_sample_task(token: str, seed: int, count: int, record: bool):
+def _pool_sample_task(token: str, seed: int, count: int) -> list[float]:
     """Persistent-pool worker: dispatch to the engine the study's
     context was built for.
 
@@ -118,9 +107,10 @@ def _pool_sample_task(token: str, seed: int, count: int, record: bool):
     identical to the historical per-round-pool implementation.
     """
     ctx = load_context(token)
-    if ctx["engine"] == "compiled":
-        return _worker_batch_mloads(ctx["plan"], seed, count, record)
-    return _worker_mloads(ctx["xgft"], ctx["scheme"], seed, count, record)
+    with span("flow.sample_chunk", engine=ctx["engine"], count=count):
+        if ctx["engine"] == "compiled":
+            return _worker_batch_mloads(ctx["plan"], seed, count)
+        return _worker_mloads(ctx["xgft"], ctx["scheme"], seed, count)
 
 
 @dataclass(frozen=True)
@@ -292,8 +282,7 @@ class PermutationStudy:
         out = []
         pool = self._study_pool()
         futures = [
-            pool.submit(_pool_sample_task, self._ctx_token, seed, chunk,
-                        rec.enabled)
+            pool.submit_task(_pool_sample_task, self._ctx_token, seed, chunk)
             for seed, chunk in zip(seeds, chunks) if chunk
         ]
         for future in futures:
@@ -312,7 +301,7 @@ class PermutationStudy:
         target = self.initial_samples
         round_index = 0
         try:
-            with use_recorder(rec):
+            with use_recorder(rec), span("flow.study", scheme=scheme.label):
                 batch = None
                 if self.engine == "compiled" or isinstance(scheme, CompiledScheme):
                     # Compile once; every round reuses the plan.

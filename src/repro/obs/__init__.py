@@ -6,12 +6,21 @@ CLI report through:
 * :class:`Recorder` / :class:`NullRecorder` — counters, nesting
   context-manager timers, mergeable histograms and a typed event stream,
   with a shared no-op default so uninstrumented runs stay fast;
+* :func:`span` / :func:`trace_context` / :func:`render_waterfall` —
+  span-based tracing with trace/span ids and parent links that survive
+  process boundaries (:mod:`repro.obs.trace`);
 * :class:`JsonlSink` / :func:`read_jsonl` / :func:`write_run` — the
   JSON Lines run-log format (manifest line, event stream, metrics line);
 * :class:`RunManifest` — reproducibility provenance attached to every
   experiment run;
 * :func:`render_report` / :func:`sparkline` — the human-readable
-  ``--profile`` view.
+  ``--profile`` view;
+* :func:`to_prometheus` / :func:`to_wide_row` — metrics export
+  (:mod:`repro.obs.export`), plus the cross-run aggregation behind the
+  ``repro report`` CLI;
+* :class:`BenchSnapshot` / :func:`compare_snapshots` — the
+  ``BENCH_*.json`` perf-snapshot schema and regression gate behind
+  ``repro bench`` (:mod:`repro.obs.bench`).
 
 Attach a recorder either explicitly (``PermutationStudy(...,
 recorder=rec)``) or ambiently::
@@ -24,7 +33,9 @@ recorder=rec)``) or ambiently::
     print(render_report(rec))
 """
 
+from repro.obs.bench import BenchSnapshot, compare_snapshots
 from repro.obs.events import JsonlSink, read_jsonl, write_run
+from repro.obs.export import to_prometheus, to_wide_row
 from repro.obs.manifest import RunManifest
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -35,6 +46,13 @@ from repro.obs.recorder import (
     use_recorder,
 )
 from repro.obs.report import render_report, sparkline
+from repro.obs.trace import (
+    current_trace_context,
+    render_waterfall,
+    span,
+    spans_of,
+    trace_context,
+)
 
 __all__ = [
     "Recorder",
@@ -43,10 +61,19 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "use_recorder",
+    "span",
+    "spans_of",
+    "trace_context",
+    "current_trace_context",
+    "render_waterfall",
     "JsonlSink",
     "read_jsonl",
     "write_run",
     "RunManifest",
     "render_report",
     "sparkline",
+    "to_prometheus",
+    "to_wide_row",
+    "BenchSnapshot",
+    "compare_snapshots",
 ]

@@ -55,6 +55,57 @@ def _hist_rows(recorder) -> list[list]:
     return rows
 
 
+def _runner_section(recorder) -> str:
+    """Derived view of the ``runner.*`` counters: cache effectiveness
+    and pool utilization, instead of raw numbers scattered through the
+    counter table."""
+    c = recorder.counters
+    if not any(k.startswith("runner.") for k in c):
+        return ""
+    lines = ["runner (pool + cache):"]
+    probes = c.get("runner.cache_hit", 0) + c.get("runner.cache_miss", 0)
+    if probes:
+        hit = c.get("runner.cache_hit", 0)
+        lines.append(
+            f"  cache probes={probes:g} hits={hit:g} "
+            f"misses={c.get('runner.cache_miss', 0):g} "
+            f"stores={c.get('runner.cache_store', 0):g} "
+            f"(hit rate {hit / probes:.1%})")
+    dropped = (c.get("runner.cache_invalidated", 0)
+               + c.get("runner.cache_corrupt", 0))
+    if dropped:
+        lines.append(
+            f"  cache entries dropped at load: "
+            f"{c.get('runner.cache_invalidated', 0):g} stale, "
+            f"{c.get('runner.cache_corrupt', 0):g} corrupt")
+    total = c.get("runner.points_total", 0)
+    if total:
+        computed = c.get("runner.points_computed", 0)
+        lines.append(
+            f"  grid points total={total:g} computed={computed:g} "
+            f"replayed={total - computed:g}")
+    if "runner.pool_tasks" in c or "runner.pool_created" in c:
+        lines.append(
+            f"  pools created={c.get('runner.pool_created', 0):g} "
+            f"tasks={c.get('runner.pool_tasks', 0):g} "
+            f"contexts spilled={c.get('runner.context_spilled', 0):g} "
+            f"worker loads={c.get('runner.context_loads', 0):g}")
+    return "\n".join(lines) if len(lines) > 1 else ""
+
+
+def _faults_section(recorder) -> str:
+    """Summary of the ``faults.*`` counters (fault-injection volume)."""
+    c = recorder.counters
+    fabrics = c.get("faults.fabrics_sampled", 0)
+    if not fabrics:
+        return ""
+    return (
+        f"faults: {fabrics:g} degraded fabric(s) sampled "
+        f"({c.get('faults.cables_failed', 0):g} cable(s), "
+        f"{c.get('faults.switches_failed', 0):g} switch(es) failed)"
+    )
+
+
 def _convergence_section(recorder) -> str:
     rounds = recorder.events_of("convergence_round")
     if not rounds:
@@ -102,6 +153,15 @@ def _flit_section(recorder) -> str:
     ])
 
 
+def _span_section(recorder) -> str:
+    """Waterfall of recorded spans (local + merged worker spans)."""
+    from repro.obs.trace import render_waterfall, spans_of
+
+    if not spans_of(recorder):
+        return ""
+    return "spans:\n" + render_waterfall(recorder)
+
+
 def render_report(recorder, *, title: str = "run telemetry") -> str:
     """Render every populated recorder dimension as one text report."""
     sections = [title]
@@ -119,7 +179,9 @@ def render_report(recorder, *, title: str = "run telemetry") -> str:
             ["histogram", "n", "mean", "min", "p50~", "p95~", "max"],
             _hist_rows(recorder), title="histograms (~ = bucket estimate)",
         ))
-    for section in (_convergence_section(recorder), _flit_section(recorder)):
+    for section in (_runner_section(recorder), _faults_section(recorder),
+                    _convergence_section(recorder), _flit_section(recorder),
+                    _span_section(recorder)):
         if section:
             sections.append(section)
     if len(sections) == 1:

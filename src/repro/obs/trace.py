@@ -1,0 +1,227 @@
+"""Span-based tracing layered on the :class:`~repro.obs.Recorder`.
+
+A *span* is one named unit of work with a wall-clock start/end, a unique
+span id, and a link to its parent span; spans sharing a *trace id* form
+one tree (typically: one CLI invocation or one ``run_sweeps`` call).
+Unlike timers — which aggregate (total seconds, calls) per qualified
+name — every span is recorded individually, as a ``"span"`` event on the
+recorder, so the run log can be replayed as a waterfall and a slow
+outlier task is visible instead of averaged away.
+
+Because spans are plain recorder events they inherit the recorder's
+transport for free: a pool worker's spans travel inside
+:meth:`Recorder.snapshot` and land in the parent via
+:meth:`Recorder.merge`.  What does *not* travel automatically is the
+parent link — the worker process has no idea which span submitted its
+task.  :func:`current_trace_context` captures the ambient ``(trace_id,
+span_id)`` as a small JSON-safe dict; ship it with the task (the
+persistent pool's :meth:`~repro.runner.pool.PersistentPool.submit_task`
+does this) and re-enter it worker-side with :func:`trace_context` so
+worker spans parent correctly across the process boundary::
+
+    # parent                                   # worker
+    with span("sweep"):                        with trace_context(ctx):
+        ctx = current_trace_context()              with span("task"):
+        pool.submit_task(fn, ...)                      ...
+
+With the no-op recorder active, :func:`span` yields ``None`` and records
+nothing — the disabled cost is one ``enabled`` check, same as every
+other recording site.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter, time
+
+from repro.obs.recorder import get_recorder
+
+#: event type under which spans are recorded
+SPAN_EVENT = "span"
+
+_STATE = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    return stack
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit hex span id."""
+    return os.urandom(8).hex()
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit hex trace id."""
+    return os.urandom(16).hex()
+
+
+def current_trace_context() -> dict | None:
+    """The ambient trace context, or ``None`` outside any span.
+
+    The returned ``{"trace_id": ..., "span_id": ...}`` dict is small and
+    JSON/pickle-safe: ship it across a process boundary and re-enter it
+    with :func:`trace_context` so remote spans join this trace.
+    """
+    stack = _stack()
+    if not stack:
+        return None
+    trace_id, span_id = stack[-1]
+    return {"trace_id": trace_id, "span_id": span_id}
+
+
+@contextmanager
+def trace_context(ctx: dict | None):
+    """Adopt ``ctx`` (a :func:`current_trace_context` dict) as the
+    ambient parent, e.g. on the worker side of a pool task.  ``None``
+    is accepted and does nothing, so callers can pass a context through
+    unconditionally."""
+    if ctx is None:
+        yield
+        return
+    stack = _stack()
+    stack.append((ctx["trace_id"], ctx["span_id"]))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+class SpanHandle:
+    """The live span yielded by :func:`span`; ``set`` attaches
+    attributes that land on the recorded event."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs")
+
+    def __init__(self, name, trace_id, span_id, parent_id, attrs):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+
+@contextmanager
+def span(name: str, *, recorder=None, **attrs):
+    """Record one span named ``name`` around the ``with`` body.
+
+    Nested spans link to the innermost open span (local or adopted via
+    :func:`trace_context`); a root span starts a fresh trace.  ``attrs``
+    become event fields.  Yields a :class:`SpanHandle` (or ``None`` when
+    the recorder is disabled).
+
+    >>> from repro.obs import Recorder, use_recorder
+    >>> rec = Recorder()
+    >>> with use_recorder(rec):
+    ...     with span("outer"):
+    ...         with span("inner"):
+    ...             pass
+    >>> outer, inner = rec.events_of("span")[1], rec.events_of("span")[0]
+    >>> inner["parent_id"] == outer["span_id"]
+    True
+    >>> inner["trace_id"] == outer["trace_id"]
+    True
+    """
+    rec = recorder if recorder is not None else get_recorder()
+    if not rec.enabled:
+        yield None
+        return
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    trace_id = parent[0] if parent is not None else new_trace_id()
+    handle = SpanHandle(name, trace_id, new_span_id(),
+                        parent[1] if parent is not None else None,
+                        dict(attrs))
+    stack.append((trace_id, handle.span_id))
+    wall0 = time()
+    t0 = perf_counter()
+    try:
+        yield handle
+    finally:
+        elapsed = perf_counter() - t0
+        stack.pop()
+        rec.event(
+            SPAN_EVENT,
+            name=name,
+            trace_id=trace_id,
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
+            start=wall0,
+            end=wall0 + elapsed,
+            duration_s=elapsed,
+            **handle.attrs,
+        )
+
+
+def spans_of(source) -> list[dict]:
+    """Span events from a recorder, a snapshot dict, or an event list."""
+    if hasattr(source, "events_of"):
+        return source.events_of(SPAN_EVENT)
+    if isinstance(source, dict):
+        source = source.get("events", [])
+    return [e for e in source if e.get("type") == SPAN_EVENT]
+
+
+def _depths(spans: list[dict]) -> dict[str, int]:
+    """Nesting depth per span id (parents absent from the set = root)."""
+    by_id = {s["span_id"]: s for s in spans}
+    depths: dict[str, int] = {}
+
+    def depth(sid: str) -> int:
+        if sid in depths:
+            return depths[sid]
+        parent = by_id[sid].get("parent_id")
+        d = 0 if parent not in by_id else depth(parent) + 1
+        depths[sid] = d
+        return d
+
+    for s in spans:
+        depth(s["span_id"])
+    return depths
+
+
+def render_waterfall(source, *, width: int = 48,
+                     max_spans: int = 40) -> str:
+    """ASCII waterfall of recorded spans, one trace per block.
+
+    Each line is one span: indented by nesting depth, with a bar
+    positioned on the trace's wall-clock extent.  Traces are rendered
+    in first-span order; spans beyond ``max_spans`` per trace are
+    elided (the count is noted) so a 10k-task sweep stays readable.
+    """
+    spans = spans_of(source)
+    if not spans:
+        return "(no spans recorded)"
+    traces: dict[str, list[dict]] = {}
+    for s in spans:
+        traces.setdefault(s["trace_id"], []).append(s)
+    blocks = []
+    for trace_id, members in traces.items():
+        members = sorted(members, key=lambda s: (s["start"], -s["end"]))
+        t0 = min(s["start"] for s in members)
+        t1 = max(s["end"] for s in members)
+        extent = max(t1 - t0, 1e-9)
+        depths = _depths(members)
+        lines = [f"trace {trace_id[:12]}  ({extent:.4f}s, "
+                 f"{len(members)} span(s))"]
+        shown = members[:max_spans]
+        label_w = max(len("  " * depths[s["span_id"]] + s["name"])
+                      for s in shown)
+        for s in shown:
+            lo = round((s["start"] - t0) / extent * (width - 1))
+            hi = round((s["end"] - t0) / extent * (width - 1))
+            bar = (" " * lo + "#" * max(1, hi - lo + 1)).ljust(width)[:width]
+            label = ("  " * depths[s["span_id"]] + s["name"]).ljust(label_w)
+            lines.append(f"  {label} |{bar}| {s['duration_s']*1e3:9.3f}ms")
+        if len(members) > max_spans:
+            lines.append(f"  ... {len(members) - max_spans} more span(s)")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

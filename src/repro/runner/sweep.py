@@ -36,7 +36,8 @@ from repro.flit.engine import FlitSimulator
 from repro.flit.stats import FlitRunResult
 from repro.flit.sweep import SweepResult, _merge_runs, default_loads
 from repro.flit.workload import UniformRandom, Workload
-from repro.obs.recorder import Recorder, get_recorder, use_recorder
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import span
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.pool import PersistentPool, load_context
 
@@ -76,25 +77,22 @@ def _version() -> str:
     return __version__
 
 
-def _flit_point_task(token: str, label: str, load: float, seed: int,
-                     record: bool):
+def _flit_point_task(token: str, label: str, load: float, seed: int):
     """Pool worker: simulate one grid point against the shipped context.
 
-    Returns ``(FlitRunResult, recorder_snapshot_or_None)``; when
-    ``record`` is set the run executes under its own recorder (merged by
-    the parent), otherwise under the no-op recorder so an enabled
-    recorder inherited across ``fork`` cannot slow the worker down.
+    Runs under whatever recorder the pool's task wrapper installed
+    (:meth:`~repro.runner.pool.PersistentPool.submit_task` builds a
+    per-task recorder and ships its snapshot back), so the simulator's
+    ``flit.*`` counters/histograms and this ``flit.point`` span land in
+    the parent recorder.
     """
     ctx = load_context(token)
     sim: FlitSimulator = ctx["sims"][label]
     workload: Workload = ctx["workload_factory"](load)
-    if not record:
-        with use_recorder(None):
-            return sim.run(workload, seed=seed), None
-    rec = Recorder()
-    with use_recorder(rec):
-        result = sim.run(workload, seed=seed)
-    return result, rec.snapshot()
+    rec = get_recorder()
+    with span("flit.point", scheme=label, load=load, seed=seed):
+        with rec.timer("flit.point_eval"):
+            return sim.run(workload, seed=seed)
 
 
 def run_sweeps(
@@ -169,22 +167,23 @@ def run_sweeps(
             if use is None:
                 use = owned = PersistentPool(n_jobs)
             try:
-                token = use.put_context({
-                    "sims": dict(sims),
-                    "workload_factory": workload_factory,
-                })
-                futures = [
-                    (point, use.submit(
-                        _flit_point_task, token, point[0], point[1],
-                        point_seed(sims[point[0]].config, point[2]),
-                        rec.enabled))
-                    for point in pending
-                ]
-                for point, future in futures:
-                    result, snapshot = future.result()
-                    results[point] = result
-                    if snapshot is not None:
-                        rec.merge(snapshot)
+                with span("runner.run_sweeps", points=len(pending),
+                          schemes=len(labels)):
+                    token = use.put_context({
+                        "sims": dict(sims),
+                        "workload_factory": workload_factory,
+                    })
+                    futures = [
+                        (point, use.submit_task(
+                            _flit_point_task, token, point[0], point[1],
+                            point_seed(sims[point[0]].config, point[2])))
+                        for point in pending
+                    ]
+                    for point, future in futures:
+                        result, snapshot = future.result()
+                        results[point] = result
+                        if snapshot is not None:
+                            rec.merge(snapshot)
             finally:
                 if owned is not None:
                     owned.close()

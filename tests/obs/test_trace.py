@@ -1,0 +1,176 @@
+"""Span tracing: ids, parent links, context propagation, waterfalls."""
+
+import json
+
+from repro.obs import Recorder, use_recorder
+from repro.obs.trace import (
+    current_trace_context,
+    render_waterfall,
+    span,
+    spans_of,
+    trace_context,
+)
+
+
+class TestSpanBasics:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        inner, outer = rec.events_of("span")  # inner exits (records) first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_siblings_get_distinct_span_ids(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("root"):
+                with span("a"):
+                    pass
+                with span("b"):
+                    pass
+        ids = {e["span_id"] for e in rec.events_of("span")}
+        assert len(ids) == 3
+
+    def test_separate_roots_get_separate_traces(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        first, second = rec.events_of("span")
+        assert first["trace_id"] != second["trace_id"]
+
+    def test_wall_clock_and_duration_consistent(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("work"):
+                sum(range(1000))
+        [ev] = rec.events_of("span")
+        assert ev["end"] >= ev["start"]
+        # end is start + duration at epoch-float resolution (~1e-7 s)
+        assert abs((ev["end"] - ev["start"]) - ev["duration_s"]) < 1e-5
+        assert ev["duration_s"] >= 0
+
+    def test_attrs_and_handle_set(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("task", scheme="d-mod-k") as handle:
+                handle.set(samples=64)
+        [ev] = rec.events_of("span")
+        assert ev["scheme"] == "d-mod-k" and ev["samples"] == 64
+
+    def test_disabled_recorder_records_nothing_and_yields_none(self):
+        rec = Recorder()
+        with span("invisible") as handle:  # ambient recorder is the no-op
+            assert handle is None
+        assert rec.events == []
+        assert current_trace_context() is None
+
+    def test_explicit_recorder_wins_over_ambient(self):
+        mine = Recorder()
+        with span("direct", recorder=mine):
+            pass
+        assert [e["name"] for e in mine.events_of("span")] == ["direct"]
+
+
+class TestContextPropagation:
+    def test_current_context_inside_span(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("outer"):
+                ctx = current_trace_context()
+        [ev] = rec.events_of("span")
+        assert ctx == {"trace_id": ev["trace_id"], "span_id": ev["span_id"]}
+
+    def test_context_is_json_safe(self):
+        rec = Recorder()
+        with use_recorder(rec), span("s"):
+            ctx = current_trace_context()
+        assert json.loads(json.dumps(ctx)) == ctx
+
+    def test_adopted_context_parents_remote_spans(self):
+        """The worker-side pattern: adopt the shipped context, then
+        record spans that parent under the submitting span."""
+        parent_rec = Recorder()
+        with use_recorder(parent_rec), span("submit"):
+            ctx = current_trace_context()
+        worker_rec = Recorder()
+        with use_recorder(worker_rec), trace_context(ctx):
+            with span("task"):
+                pass
+        [submit] = parent_rec.events_of("span")
+        [task] = worker_rec.events_of("span")
+        assert task["trace_id"] == submit["trace_id"]
+        assert task["parent_id"] == submit["span_id"]
+
+    def test_none_context_is_accepted(self):
+        rec = Recorder()
+        with trace_context(None), use_recorder(rec), span("root"):
+            pass
+        assert rec.events_of("span")[0]["parent_id"] is None
+
+    def test_merged_worker_spans_keep_links(self):
+        parent = Recorder()
+        with use_recorder(parent), span("sweep"):
+            ctx = current_trace_context()
+        worker = Recorder()
+        with use_recorder(worker), trace_context(ctx), span("point"):
+            pass
+        parent.merge(worker.snapshot())
+        spans = spans_of(parent)
+        assert {s["name"] for s in spans} == {"sweep", "point"}
+        assert len({s["trace_id"] for s in spans}) == 1
+
+
+class TestSpansOf:
+    def test_accepts_recorder_snapshot_and_event_list(self):
+        rec = Recorder()
+        with use_recorder(rec), span("s"):
+            rec.event("other", x=1)
+        assert len(spans_of(rec)) == 1
+        assert len(spans_of(rec.snapshot())) == 1
+        assert len(spans_of(rec.events)) == 1
+        assert spans_of([]) == []
+
+
+class TestWaterfall:
+    def _recorder_with_tree(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with span("root"):
+                with span("child-a"):
+                    pass
+                with span("child-b"):
+                    pass
+        return rec
+
+    def test_waterfall_lists_every_span(self):
+        out = render_waterfall(self._recorder_with_tree())
+        for name in ("root", "child-a", "child-b"):
+            assert name in out
+        assert "trace " in out and "ms" in out
+
+    def test_waterfall_indents_children(self):
+        out = render_waterfall(self._recorder_with_tree())
+        root_line = next(l for l in out.splitlines() if "root" in l)
+        child_line = next(l for l in out.splitlines() if "child-a" in l)
+        assert (len(child_line) - len(child_line.lstrip())
+                > len(root_line) - len(root_line.lstrip()))
+
+    def test_waterfall_elides_beyond_max_spans(self):
+        rec = Recorder()
+        with use_recorder(rec), span("root"):
+            for i in range(5):
+                with span(f"task-{i}"):
+                    pass
+        out = render_waterfall(rec, max_spans=3)
+        assert "more span(s)" in out
+
+    def test_empty_waterfall(self):
+        assert "no spans" in render_waterfall(Recorder())

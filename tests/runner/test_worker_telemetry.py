@@ -1,0 +1,198 @@
+"""Cross-process telemetry: snapshot/merge round-trips and worker
+recorder state merging into the parent through the persistent pool."""
+
+import json
+import math
+
+import pytest
+
+from repro.flit.config import FlitConfig
+from repro.flit.engine import FlitSimulator
+from repro.flow.sampling import PermutationStudy
+from repro.obs.recorder import Recorder, use_recorder
+from repro.obs.trace import span, spans_of
+from repro.routing.factory import make_scheme
+from repro.runner.pool import PersistentPool
+from repro.runner.sweep import run_sweeps
+from repro.topology.variants import m_port_n_tree
+
+CFG = FlitConfig(warmup_cycles=100, measure_cycles=500, drain_cycles=500,
+                 seed=11)
+LOADS = (0.2, 0.6)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return m_port_n_tree(4, 2)
+
+
+def _nan_eq(a, b):
+    """Recursive equality that treats NaN == NaN (JSON round-trips keep
+    NaN as a float, and plain == would reject it)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_nan_eq(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _nan_eq(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return a == b
+
+
+def _populated_recorder():
+    rec = Recorder()
+    rec.count("flit.runs", 3)
+    rec.count("flow.samples", 64)
+    with rec.timer("outer"):
+        with rec.timer("inner"):
+            pass
+    for v in (0.0, 0.5, 1.5, 3.0, 1024.0):  # floor + spread buckets
+        rec.observe("flit.message_delay", v)
+    rec.event("convergence_round", scheme="d-mod-k", mean=0.5,
+              half_width=float("nan"))
+    with use_recorder(rec), span("study", scheme="d-mod-k"):
+        pass
+    return rec
+
+
+class TestSnapshotRoundTrip:
+    def test_merge_of_json_snapshot_is_bit_identical(self):
+        """The worker transport: snapshot -> JSON -> merge into a fresh
+        recorder must lose nothing — histogram buckets, NaN event
+        fields, timer totals, span events."""
+        worker = _populated_recorder()
+        wire = json.loads(json.dumps(worker.snapshot()))
+        parent = Recorder()
+        parent.merge(wire)
+        assert _nan_eq(parent.snapshot(), worker.snapshot())
+        # histogram internals survive exactly, including the floor bucket
+        mine = parent.hists["flit.message_delay"]
+        theirs = worker.hists["flit.message_delay"]
+        assert mine.buckets == theirs.buckets
+        assert -1075 in mine.buckets
+        assert (mine.count, mine.total, mine.vmin, mine.vmax) == \
+            (theirs.count, theirs.total, theirs.vmin, theirs.vmax)
+
+    def test_merging_two_workers_sums_every_dimension(self):
+        parent = Recorder()
+        parent.merge(_populated_recorder().snapshot())
+        parent.merge(_populated_recorder().snapshot())
+        assert parent.counters["flit.runs"] == 6
+        assert parent.timers["outer"][1] == 2
+        assert parent.timers["outer/inner"][1] == 2
+        hist = parent.hists["flit.message_delay"]
+        assert hist.count == 10
+        assert hist.vmin == 0.0 and hist.vmax == 1024.0
+        assert all(n == 2 for n in hist.buckets.values())
+        assert len(parent.events_of("convergence_round")) == 2
+        assert len(spans_of(parent)) == 2
+
+    def test_nan_timer_totals_merge_without_poisoning_calls(self):
+        """A NaN total must stay NaN-contained: call counts (ints) keep
+        merging exactly even when a wall-clock total is NaN."""
+        parent = Recorder()
+        parent.merge({"counters": {}, "hists": {}, "events": [],
+                      "timers": {"t": {"total_s": float("nan"),
+                                       "calls": 3}}})
+        parent.merge({"counters": {}, "hists": {}, "events": [],
+                      "timers": {"t": {"total_s": 1.5, "calls": 2}}})
+        total, calls = parent.timers["t"]
+        assert calls == 5
+        assert total != total  # NaN, not silently dropped
+
+
+class TestPoolTaskTelemetry:
+    def test_submit_task_ships_worker_snapshot(self):
+        rec = Recorder()
+        with use_recorder(rec), PersistentPool(1) as pool:
+            result, snapshot = pool.submit_task(math.sqrt, 4.0).result()
+        assert result == 2.0
+        assert snapshot is not None
+        [task_span] = spans_of(snapshot)
+        assert task_span["name"] == "runner.task"
+        assert rec.counters["runner.pool_tasks"] == 1
+
+    def test_submit_task_without_recorder_ships_nothing(self):
+        with PersistentPool(1) as pool:
+            result, snapshot = pool.submit_task(math.sqrt, 9.0).result()
+        assert result == 3.0
+        assert snapshot is None
+
+    def test_worker_span_parents_under_submitting_span(self):
+        rec = Recorder()
+        with use_recorder(rec), PersistentPool(1) as pool:
+            with span("parent") as handle:
+                _, snapshot = pool.submit_task(math.sqrt, 4.0).result()
+            rec.merge(snapshot)
+        spans = {s["name"]: s for s in spans_of(rec)}
+        assert spans["runner.task"]["trace_id"] == handle.trace_id
+        assert spans["runner.task"]["parent_id"] == handle.span_id
+
+
+class TestParallelSweepTelemetry:
+    def _sweep(self, tree, **kwargs):
+        sims = {spec: FlitSimulator(tree, make_scheme(tree, spec), CFG)
+                for spec in ("d-mod-k", "shift-1:2")}
+        rec = Recorder()
+        with use_recorder(rec):
+            out = run_sweeps(sims, loads=LOADS, **kwargs)
+        return out, rec
+
+    def test_parallel_merges_worker_counters_matching_serial(self, tree):
+        serial_out, serial_rec = self._sweep(tree)
+        par_out, par_rec = self._sweep(tree, n_jobs=4)
+
+        # results bit-identical (NaN-tolerant field compare)
+        for key in serial_out:
+            for ra, rb in zip(serial_out[key].runs, par_out[key].runs):
+                for f in ra.__dataclass_fields__:
+                    va, vb = getattr(ra, f), getattr(rb, f)
+                    assert va == vb or (va != va and vb != vb)
+
+        # every flit.* counter the simulator recorded serially arrives
+        # through the worker snapshots with the same value
+        serial_flit = {k: v for k, v in serial_rec.counters.items()
+                       if k.startswith("flit.")}
+        par_flit = {k: v for k, v in par_rec.counters.items()
+                    if k.startswith("flit.")}
+        assert serial_flit and serial_flit == par_flit
+
+        # worker-side timers are non-zero and merged into the parent
+        total, calls = par_rec.timers["flit.point_eval"]
+        assert calls == len(LOADS) * 2 and total > 0
+
+        # histograms merge bucket-exactly (totals are float sums whose
+        # association differs, so compare them approximately)
+        for name, serial_hist in serial_rec.hists.items():
+            par_hist = par_rec.hists[name]
+            assert par_hist.buckets == serial_hist.buckets
+            assert par_hist.count == serial_hist.count
+            assert par_hist.vmin == serial_hist.vmin
+            assert par_hist.vmax == serial_hist.vmax
+            assert par_hist.total == pytest.approx(serial_hist.total)
+
+    def test_parallel_sweep_spans_form_one_trace(self, tree):
+        _, rec = self._sweep(tree, n_jobs=2)
+        spans = spans_of(rec)
+        names = {s["name"] for s in spans}
+        assert {"runner.run_sweeps", "runner.task", "flit.point"} <= names
+        assert len({s["trace_id"] for s in spans}) == 1
+        sweep_span = next(s for s in spans
+                          if s["name"] == "runner.run_sweeps")
+        for s in spans:
+            if s["name"] == "runner.task":
+                assert s["parent_id"] == sweep_span["span_id"]
+
+
+class TestFlowStudyTelemetry:
+    def test_parallel_study_merges_worker_samples_and_timers(self, tree):
+        rec = Recorder()
+        study = PermutationStudy(tree, initial_samples=8, max_samples=16,
+                                 seed=5, n_jobs=2)
+        with use_recorder(rec):
+            result = study.run(make_scheme(tree, "d-mod-k"))
+        assert rec.counters["flow.samples"] == len(result.samples)
+        total, calls = rec.timers["flow.sampling.worker"]
+        assert calls >= 2 and total > 0
+        names = {s["name"] for s in spans_of(rec)}
+        assert {"flow.study", "flow.sample_chunk", "runner.task"} <= names

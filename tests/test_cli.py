@@ -129,3 +129,61 @@ class TestGlobalOptions:
 
         assert manifest_for(1)["seed"] == 1
         assert manifest_for(2)["seed"] == 2
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def log_dir(self, tmp_path):
+        for seed in (1, 2):
+            assert main(["resources", "--seed", str(seed), "--quiet",
+                         "--log-json",
+                         str(tmp_path / f"run{seed}.jsonl")]) == 0
+        return tmp_path
+
+    def test_text_report_over_directory(self, log_dir, capsys):
+        assert main(["report", str(log_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "resources" in out
+        assert "run1.jsonl" in out and "run2.jsonl" in out
+
+    def test_json_format(self, log_dir, capsys):
+        import json
+
+        assert main(["report", str(log_dir), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["runs"]) == 2
+        assert isinstance(data["merged"], dict)
+
+    def test_prometheus_format(self, log_dir, capsys):
+        assert main(["report", str(log_dir), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_" in out
+
+    def test_no_logs_is_an_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "no run logs" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_quick_obs_bench_writes_and_self_checks(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--only", "obs",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench obs:" in out
+        assert (tmp_path / "BENCH_obs.json").exists()
+
+        # re-running against its own snapshot as baseline passes the gate
+        assert main(["bench", "--quick", "--only", "obs", "--no-write",
+                     "--check", "--baseline-dir", str(tmp_path),
+                     "--threshold", "4.0"]) == 0
+        assert "threshold +400%" in capsys.readouterr().out
+
+    def test_check_skips_missing_baseline(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--only", "obs", "--no-write",
+                     "--check", "--baseline-dir", str(tmp_path)]) == 0
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_an_error(self, capsys):
+        assert main(["bench", "--only", "nosuchbench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
