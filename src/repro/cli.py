@@ -25,7 +25,10 @@ experiments additionally accept ``--engine {reference,compiled}`` to pick
 the evaluator (compiled = compile routes once, batch-evaluate rounds).
 Fault-aware experiments (``fault-sweep``) accept ``--fault-rate R[,R...]``
 (link failure rate grid), ``--fault-links ID[,ID...]`` (explicit failed
-cables) and ``--fault-seed N`` (fault sampler seed).  Flit-level sweep
+cables) and ``--fault-seed N`` (fault sampler seed).  Churn-aware
+experiments (``churn-sweep``) accept ``--churn-events N`` (fail/repair
+stream length) and ``--churn-seed N`` (trace seed, independent of the
+traffic ``--seed``).  Flit-level sweep
 experiments (``table1``, ``figure5``) accept ``--jobs N`` (parallel grid
 fan-out over a process pool, bit-identical to serial), ``--cache`` /
 ``--no-cache`` (replay completed sweep points from the on-disk result
@@ -199,6 +202,8 @@ def _cmd_experiment(args) -> int:
             jobs=args.jobs,
             cache=args.cache,
             cache_dir=args.cache_dir,
+            churn_events=args.churn_events,
+            churn_seed=args.churn_seed,
         )
         if not args.quiet:
             print(run.result.render())
@@ -320,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR", default=None,
         help="result-cache directory (default .repro-cache/; implies "
              "--cache unless --no-cache is given)")
+    obs_parent.add_argument(
+        "--churn-events", type=int, default=None, metavar="N",
+        help="fail/repair event-stream length for churn-aware "
+             "experiments (churn-sweep); default set by --fidelity")
+    obs_parent.add_argument(
+        "--churn-seed", type=int, default=None, metavar="N",
+        help="churn-trace seed, independent of the traffic --seed")
 
     for name, exp in EXPERIMENTS.items():
         p_exp = sub.add_parser(name, help=exp.description,

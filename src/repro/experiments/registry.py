@@ -30,7 +30,9 @@ class Experiment:
     only forwarded to those.  ``runner_aware`` marks runners accepting
     the parallel-execution keywords (``n_jobs`` / ``cache`` — the flit
     sweep grids); the CLI's ``--jobs`` / ``--cache`` / ``--cache-dir``
-    flags are only forwarded to those.
+    flags are only forwarded to those.  ``churn_aware`` marks runners
+    accepting the event-stream keywords (``n_events`` / ``churn_seed``);
+    the CLI's ``--churn-*`` flags are only forwarded to those.
     """
 
     name: str
@@ -39,6 +41,7 @@ class Experiment:
     engine_aware: bool = False
     fault_aware: bool = False
     runner_aware: bool = False
+    churn_aware: bool = False
 
 
 def _figure4_runner(panel: str):
@@ -92,6 +95,12 @@ def _fault_sweep(**kwargs):
     return fault_sweep.run(**kwargs)
 
 
+def _churn_sweep(**kwargs):
+    from repro.experiments import churn_sweep
+
+    return churn_sweep.run(**kwargs)
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     **{
         f"figure4{p}": Experiment(
@@ -127,6 +136,11 @@ EXPERIMENTS: dict[str, Experiment] = {
     "fault-sweep": Experiment(
         "fault-sweep", "avg max permutation load vs link failure rate",
         _fault_sweep, engine_aware=True, fault_aware=True,
+    ),
+    "churn-sweep": Experiment(
+        "churn-sweep",
+        "MLOAD trajectory under streaming fail/repair churn",
+        _churn_sweep, runner_aware=True, churn_aware=True,
     ),
 }
 
@@ -169,6 +183,8 @@ def run_instrumented(
     jobs: int | None = None,
     cache: bool | None = None,
     cache_dir: str | None = None,
+    churn_events: int | None = None,
+    churn_seed: int | None = None,
     **kwargs,
 ) -> ExperimentRun:
     """Run an experiment under a recorder and attach a manifest.
@@ -188,7 +204,9 @@ def run_instrumented(
     alone implies caching) reach runner-aware experiments as ``n_jobs``
     and a :class:`~repro.runner.cache.ResultCache`, and are an error
     elsewhere (``jobs=1`` / ``cache=False``, the do-nothing values, are
-    accepted everywhere).
+    accepted everywhere).  The churn keywords (``churn_events`` stream
+    length, ``churn_seed`` trace seed) reach churn-aware experiments as
+    ``n_events`` / ``churn_seed``, and are an error elsewhere.
     """
     rec = recorder if recorder is not None else get_recorder()
     experiment = get_experiment(name)
@@ -207,6 +225,16 @@ def run_instrumented(
             raise ReproError(
                 f"experiment {name!r} does not support fault injection "
                 f"(--fault-rate/--fault-links/--fault-seed)"
+            )
+        kwargs[key] = value
+    for key, value in (("n_events", churn_events),
+                       ("churn_seed", churn_seed)):
+        if value is None:
+            continue
+        if not experiment.churn_aware:
+            raise ReproError(
+                f"experiment {name!r} does not support churn replay "
+                f"(--churn-events/--churn-seed)"
             )
         kwargs[key] = value
     if jobs is not None:

@@ -14,21 +14,41 @@ The layer has three pieces, composed left to right::
 
 Both flow engines, the flit engine and the LFT compiler accept the
 wrapped scheme transparently; see ``docs/architecture.md``.
+
+For *streaming* faults — rolling fail/repair event streams applied in
+place with per-event incremental re-routing — see
+:mod:`repro.faults.churn` (:class:`ChurnSpec` / :func:`generate_trace`
+/ :class:`IncrementalDegradedScheme`).
 """
 
 from repro.errors import DisconnectedPairError, FaultError
+from repro.faults.churn import (
+    ChurnEvent,
+    ChurnSpec,
+    ChurnTrace,
+    IncrementalDegradedScheme,
+    RerouteStats,
+    generate_trace,
+)
 from repro.faults.degraded import DegradedFabric, cable_links, switch_links
-from repro.faults.scheme import DegradedScheme
+from repro.faults.scheme import DegradedScheme, select_surviving
 from repro.faults.spec import FaultSpec, samplable_cables, samplable_switches
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSpec",
+    "ChurnTrace",
     "DegradedFabric",
     "DegradedScheme",
     "DisconnectedPairError",
     "FaultError",
     "FaultSpec",
+    "IncrementalDegradedScheme",
+    "RerouteStats",
     "cable_links",
+    "generate_trace",
     "samplable_cables",
     "samplable_switches",
+    "select_surviving",
     "switch_links",
 ]

@@ -88,24 +88,105 @@ class DegradedFabric:
 
     The derived :attr:`link_ok` mask is the single source of truth for
     every consumer (routing, flow engines, flit engine).
+
+    The fabric is *mutable*: :meth:`fail_cable` / :meth:`repair_cable` /
+    :meth:`fail_switch` / :meth:`repair_switch` apply one fail/repair
+    event in place and return the directed links whose liveness actually
+    flipped.  Links are reference-counted per failing element, so a link
+    covered by both a dead switch and a dead cable only comes back when
+    its *last* cause is repaired.  Every mutation bumps :attr:`version`
+    and invalidates the derived caches (:attr:`is_connected`), so no
+    consumer can observe a stale answer.
     """
 
     def __init__(self, xgft: XGFT, *, failed_cables=(), failed_switches=()):
         self.xgft = xgft
         self._connected: bool | None = None
-        self.failed_cables = tuple(sorted({int(c) for c in failed_cables}))
-        self.failed_switches = tuple(sorted(
-            {(int(l), int(i)) for l, i in failed_switches}
-        ))
-        ok = np.ones(xgft.n_links, dtype=bool)
-        for cable in self.failed_cables:
-            for link in cable_links(xgft, cable):
-                ok[link] = False
-        for level, index in self.failed_switches:
-            for link in switch_links(xgft, level, index):
-                ok[link] = False
-        self.link_ok = ok
-        self.link_ok.setflags(write=False)
+        self._version = 0
+        self._cables: set[int] = set()
+        self._switches: set[tuple[int, int]] = set()
+        # Per-link count of failing elements covering it; alive <=> 0.
+        self._dead_refs = np.zeros(xgft.n_links, dtype=np.int32)
+        self._link_ok = np.ones(xgft.n_links, dtype=bool)
+        self._link_ok.setflags(write=False)
+        for cable in sorted({int(c) for c in failed_cables}):
+            self.fail_cable(cable)
+        for level, index in sorted({(int(l), int(i))
+                                    for l, i in failed_switches}):
+            self.fail_switch(level, index)
+
+    # -- the mask and the failed-element sets --------------------------
+    @property
+    def link_ok(self) -> np.ndarray:
+        """Read-only boolean liveness mask over directed link ids."""
+        return self._link_ok
+
+    @property
+    def failed_cables(self) -> tuple[int, ...]:
+        return tuple(sorted(self._cables))
+
+    @property
+    def failed_switches(self) -> tuple[tuple[int, int], ...]:
+        return tuple(sorted(self._switches))
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every applied fail/repair event.
+        Consumers caching anything derived from :attr:`link_ok` key
+        their cache on it."""
+        return self._version
+
+    # -- in-place fail/repair events -----------------------------------
+    def _shift(self, links, delta: int) -> np.ndarray:
+        """Adjust the failing-element refcount of ``links`` by ``delta``
+        and return the link ids whose liveness flipped."""
+        links = np.asarray(links, dtype=np.int64)
+        before_dead = self._dead_refs[links] > 0
+        self._dead_refs[links] += delta
+        changed = links[before_dead != (self._dead_refs[links] > 0)]
+        if changed.size:
+            self._link_ok.setflags(write=True)
+            self._link_ok[changed] = delta < 0
+            self._link_ok.setflags(write=False)
+        self._version += 1
+        self._connected = None
+        return changed
+
+    def fail_cable(self, up_link_id: int) -> np.ndarray:
+        """Fail one cable; returns the newly-dead directed link ids."""
+        up_link_id = int(up_link_id)
+        links = cable_links(self.xgft, up_link_id)
+        if up_link_id in self._cables:
+            raise FaultError(f"cable {up_link_id} is already failed")
+        self._cables.add(up_link_id)
+        return self._shift(links, +1)
+
+    def repair_cable(self, up_link_id: int) -> np.ndarray:
+        """Repair one failed cable; returns the resurrected link ids."""
+        up_link_id = int(up_link_id)
+        links = cable_links(self.xgft, up_link_id)
+        if up_link_id not in self._cables:
+            raise FaultError(f"cable {up_link_id} is not failed")
+        self._cables.discard(up_link_id)
+        return self._shift(links, -1)
+
+    def fail_switch(self, level: int, index: int) -> np.ndarray:
+        """Fail one switch; returns the newly-dead directed link ids."""
+        key = (int(level), int(index))
+        links = switch_links(self.xgft, *key)
+        if key in self._switches:
+            raise FaultError(f"switch {key} is already failed")
+        self._switches.add(key)
+        return self._shift(links, +1)
+
+    def repair_switch(self, level: int, index: int) -> np.ndarray:
+        """Repair one failed switch; returns the resurrected link ids."""
+        key = (int(level), int(index))
+        links = switch_links(self.xgft, *key)
+        if key not in self._switches:
+            raise FaultError(f"switch {key} is not failed")
+        self._switches.discard(key)
+        return self._shift(links, -1)
 
     # ------------------------------------------------------------------
     @property
@@ -165,7 +246,9 @@ class DegradedFabric:
         """True iff every ordered pair keeps at least one alive shortest
         path.  Independent faults can jointly cover a pair's whole path
         set even when no single fault is critical; sweeps use this to
-        resample such fabrics (cached after the first call)."""
+        resample such fabrics.  Cached after the first call and
+        invalidated by every mask mutation (fail/repair events), so the
+        answer always reflects the current mask."""
         if self._connected is None:
             self._connected = self._check_connected()
         return self._connected

@@ -30,6 +30,43 @@ from repro.routing.base import RouteSet, RoutingScheme
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+def select_surviving(
+    s: np.ndarray, d: np.ndarray, order: np.ndarray, alive: np.ndarray,
+    p: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Padded ``(idx, weights)`` selection from a preference order.
+
+    Each row keeps the first ``min(p, alive)`` surviving entries of its
+    ``order`` row, weights renormalized to ``1/alive``; rows short of
+    ``p`` are padded with their first surviving path at weight 0.  This
+    is THE re-route rule — :class:`DegradedScheme` (from-scratch) and
+    :class:`~repro.faults.churn.IncrementalDegradedScheme` (per-event
+    deltas) both call it, which is what makes their results
+    bit-identical by construction for identical inputs.  Purely
+    row-local, so recomputing a subset of rows gives the same floats as
+    recomputing all of them.
+
+    Raises :class:`~repro.errors.DisconnectedPairError` (before any
+    output is materialized) if some row has no surviving path.
+    """
+    counts = alive.sum(axis=1)
+    if not counts.all():
+        bad = int(np.flatnonzero(counts == 0)[0])
+        raise DisconnectedPairError(int(s[bad]), int(d[bad]))
+    n = len(order)
+    take = np.minimum(counts, p)
+    rank = np.cumsum(alive, axis=1)
+    sel = alive & (rank <= p)
+    rows, cols = np.nonzero(sel)
+    pos = rank[rows, cols] - 1
+    first = order[np.arange(n), np.argmax(alive, axis=1)]
+    idx = np.repeat(first[:, None], p, axis=1)
+    idx[rows, pos] = order[rows, cols]
+    weights = np.zeros((n, p))
+    weights[rows, pos] = 1.0 / take[rows]
+    return idx, weights
+
+
 class DegradedScheme(RoutingScheme):
     """A routing scheme filtered through a degraded fabric.
 
@@ -80,27 +117,15 @@ class DegradedScheme(RoutingScheme):
         """Padded ``(idx, weights)`` matrices for one level-``k`` batch."""
         s = np.asarray(s, dtype=np.int64)
         d = np.asarray(d, dtype=np.int64)
-        key = (k, s.tobytes(), d.tobytes())
+        # The fabric version keys the memo so an in-place fail/repair
+        # event on the shared fabric can never serve a stale selection.
+        key = (k, self.degraded.version, s.tobytes(), d.tobytes())
         if key == self._memo_key:
             return self._memo
         order = self.base.path_order_matrix(s, d, k)
         alive = self.degraded.path_alive_matrix(s, d, order, k)
-        counts = alive.sum(axis=1)
-        if not counts.all():
-            bad = int(np.flatnonzero(counts == 0)[0])
-            raise DisconnectedPairError(int(s[bad]), int(d[bad]))
-        n = len(s)
-        p = self.base.paths_per_pair(k)
-        take = np.minimum(counts, p)
-        rank = np.cumsum(alive, axis=1)
-        sel = alive & (rank <= p)
-        rows, cols = np.nonzero(sel)
-        pos = rank[rows, cols] - 1
-        first = order[np.arange(n), np.argmax(alive, axis=1)]
-        idx = np.repeat(first[:, None], p, axis=1)
-        idx[rows, pos] = order[rows, cols]
-        weights = np.zeros((n, p))
-        weights[rows, pos] = 1.0 / take[rows]
+        idx, weights = select_surviving(
+            s, d, order, alive, self.base.paths_per_pair(k))
         self._memo_key, self._memo = key, (idx, weights)
         return idx, weights
 

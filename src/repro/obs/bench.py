@@ -8,11 +8,13 @@ is that subsystem:
   benchmark run: what code (git rev, ``repro.__version__``), on what
   host (python/platform/cpu fingerprint), and per-metric wall/CPU
   seconds plus derived throughputs;
-* three self-contained benchmark bodies — ``flow`` (reference vs
+* four self-contained benchmark bodies — ``flow`` (reference vs
   compiled permutation evaluation), ``flit`` (serial vs parallel vs
-  warm-cache sweep grid) and ``obs`` (recorder overhead on the flow hot
-  path) — mirroring the tier-listed scripts in ``benchmarks/`` but
-  runnable from the installed package (``repro bench``);
+  warm-cache sweep grid), ``obs`` (recorder overhead on the flow hot
+  path) and ``churn`` (incremental re-routing vs from-scratch recompile
+  under a fail/repair event stream) — mirroring the tier-listed scripts
+  in ``benchmarks/`` but runnable from the installed package
+  (``repro bench``);
 * :func:`compare_snapshots` — the regression gate: flags any metric
   whose wall time grew beyond ``threshold`` relative to a committed
   baseline, while ignoring host/noise-level jitter.
@@ -55,7 +57,12 @@ SNAPSHOT_FILES = {
     "flow": "BENCH_flow.json",
     "flit": "BENCH_flit.json",
     "obs": "BENCH_obs.json",
+    "churn": "BENCH_churn.json",
 }
+
+#: minimum full-recompile/incremental pairs ratio for one cable failure
+#: on the 8-port 3-tree (the churn acceptance gate)
+CHURN_PAIRS_REDUCTION = 10.0
 
 
 def git_rev() -> str | None:
@@ -400,7 +407,117 @@ def bench_obs(quick: bool = True) -> BenchSnapshot:
         quick=quick)
 
 
-BENCHMARKS = {"flow": bench_flow, "flit": bench_flit, "obs": bench_obs}
+def bench_churn(quick: bool = True) -> BenchSnapshot:
+    """Incremental re-routing vs from-scratch recompile under churn.
+
+    Always measures on the 8-port 3-tree: that is where the acceptance
+    gate states its numbers (a single cable failure must recompute
+    >=10x fewer pairs than a full recompile, bit-identically).  ``quick``
+    only shortens the event stream.
+    """
+    import numpy as np
+
+    from repro.faults.churn import (ChurnEvent, ChurnSpec,
+                                    IncrementalDegradedScheme,
+                                    generate_trace)
+    from repro.faults.degraded import DegradedFabric
+    from repro.faults.scheme import DegradedScheme
+    from repro.faults.spec import samplable_cables
+    from repro.routing.factory import make_scheme
+    from repro.topology.variants import m_port_n_tree
+
+    xgft = m_port_n_tree(8, 3)
+    n_events = 8 if quick else 32
+    base = make_scheme(xgft, "disjoint:4")
+    trace = generate_trace(xgft, ChurnSpec(n_events=n_events, seed=2012))
+
+    def all_pairs_by_level():
+        n = xgft.n_procs
+        keys = np.arange(n * n, dtype=np.int64)
+        s, d = np.divmod(keys, n)
+        k_arr = xgft.nca_level(s, d)
+        return [(k, s[k_arr == k], d[k_arr == k])
+                for k in range(1, xgft.h + 1) if (k_arr == k).any()]
+
+    groups = all_pairs_by_level()
+
+    prepare_wall, prepare_cpu = _best_of(
+        lambda: IncrementalDegradedScheme(base))
+
+    def replay_once():
+        inc = IncrementalDegradedScheme(base)
+        w0, c0 = perf_counter(), process_time()
+        stats = inc.replay(trace)
+        return perf_counter() - w0, process_time() - c0, (inc, stats)
+
+    inc_wall = inc_cpu = float("inf")
+    inc = stats = None
+    for _ in range(3):
+        w, c, (inc, stats) = replay_once()
+        inc_wall, inc_cpu = min(inc_wall, w), min(inc_cpu, c)
+    pairs_recomputed = sum(st.pairs_recomputed for st in stats)
+
+    def full_once():
+        fabric = DegradedFabric(xgft)
+        w0, c0 = perf_counter(), process_time()
+        scheme = None
+        for event in trace:
+            event.apply(fabric)
+            scheme = DegradedScheme(base, fabric)
+            for k, s, d in groups:
+                scheme.path_index_matrix(s, d, k)
+                scheme.path_weight_matrix(s, d, k)
+        return perf_counter() - w0, process_time() - c0, scheme
+
+    full_wall = full_cpu = float("inf")
+    full = None
+    for _ in range(3):
+        w, c, full = full_once()
+        full_wall, full_cpu = min(full_wall, w), min(full_cpu, c)
+
+    # Differential check: after the whole stream, incremental state is
+    # bit-identical to the from-scratch recompile, every level.
+    equivalence = True
+    for k, s, d in groups:
+        if not (np.array_equal(inc.path_index_matrix(s, d, k),
+                               full.path_index_matrix(s, d, k))
+                and np.array_equal(inc.path_weight_matrix(s, d, k),
+                                   full.path_weight_matrix(s, d, k))):
+            equivalence = False
+
+    # Acceptance gate: one cable failure touches >=10x fewer pairs than
+    # a full recompile.  The first samplable cable is a level-1 cable,
+    # the common case (a leaf uplink dying).
+    single = IncrementalDegradedScheme(base)
+    gate = single.apply_event(
+        ChurnEvent("fail", "cable", samplable_cables(xgft)[0]))
+    reduction = gate.pairs_total / max(1, gate.pairs_recomputed)
+
+    metrics = {
+        "prepare": {"wall_s": prepare_wall, "cpu_s": prepare_cpu},
+        "incremental_replay": {
+            "wall_s": inc_wall, "cpu_s": inc_cpu,
+            "events": len(trace),
+            "pairs_recomputed": pairs_recomputed,
+            "events_per_s": len(trace) / inc_wall if inc_wall > 0 else 0.0,
+        },
+        "full_recompile": {
+            "wall_s": full_wall, "cpu_s": full_cpu,
+            "events": len(trace),
+            "speedup_vs_incremental": (full_wall / inc_wall
+                                       if inc_wall > 0 else float("inf")),
+        },
+    }
+    checks = {
+        "equivalence_ok": equivalence,
+        "pairs_reduction_ok": bool(reduction >= CHURN_PAIRS_REDUCTION),
+    }
+    metrics["incremental_replay"]["single_cable_pairs_reduction"] = reduction
+    return BenchSnapshot.create("churn", metrics, checks=checks, quick=quick)
+
+
+BENCHMARKS = {"flow": bench_flow, "flit": bench_flit, "obs": bench_obs,
+              "churn": bench_churn}
 
 
 def run_benchmarks(names=None, *, quick: bool = False

@@ -144,26 +144,41 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._load()
 
-    def get(self, key: str) -> FlitRunResult | None:
-        """The cached result for ``key``, or ``None`` on a miss."""
+    def get_record(self, key: str) -> dict | None:
+        """The raw cached record for ``key``, or ``None`` on a miss.
+
+        The generic layer under :meth:`get`: any JSON-able dict payload
+        (flit run points, churn-sweep step MLOADs) shares the same file,
+        index, versioning and telemetry.
+        """
         entry = self._load().get(key)
         rec = get_recorder()
         if entry is None:
             rec.count("runner.cache_miss")
             return None
         rec.count("runner.cache_hit")
+        return entry
+
+    def put_record(self, key: str, record: dict) -> None:
+        """Persist a raw JSON-able dict under ``key`` (idempotent)."""
+        index = self._load()
+        if key in index:
+            return
+        index[key] = record
+        os.makedirs(self.directory, exist_ok=True)
+        line = json.dumps({"key": key, "version": self.version,
+                           "result": record})
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        get_recorder().count("runner.cache_store")
+
+    def get(self, key: str) -> FlitRunResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        entry = self.get_record(key)
+        if entry is None:
+            return None
         return FlitRunResult(**entry)
 
     def put(self, key: str, result: FlitRunResult) -> None:
         """Persist ``result`` under ``key`` (idempotent)."""
-        index = self._load()
-        if key in index:
-            return
-        payload = asdict(result)
-        index[key] = payload
-        os.makedirs(self.directory, exist_ok=True)
-        line = json.dumps({"key": key, "version": self.version,
-                           "result": payload})
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-        get_recorder().count("runner.cache_store")
+        self.put_record(key, asdict(result))

@@ -44,6 +44,7 @@ SUBSTREAMS = {
     "fault-links": 1,
     "fault-switches": 2,
     "fault-order": 3,
+    "churn-trace": 4,
 }
 
 

@@ -1,0 +1,158 @@
+"""Tests for the churn-sweep experiment: shape, caching, golden pins."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import churn_sweep
+from repro.obs import Recorder, use_recorder
+from repro.runner.cache import ResultCache
+from repro.topology.variants import m_port_n_tree
+
+GOLDEN_FILE = Path(__file__).parent.parent / "goldens" / "churn_sweep.json"
+
+SMALL = dict(topology=m_port_n_tree(4, 2), fidelity_name="fast",
+             curves=("d-mod-k", "disjoint:2"), n_events=4)
+
+
+class TestRun:
+    def test_shape_and_trajectory(self):
+        result = churn_sweep.run(**SMALL)
+        assert result.curves == ("d-mod-k", "disjoint:2")
+        assert len(result.points) == 5  # pristine baseline + 4 events
+        baseline = result.points[0]
+        assert baseline.step == 0 and baseline.event == ""
+        assert baseline.fabric == "pristine"
+        assert baseline.pairs_recomputed == 0
+        for i, point in enumerate(result.points[1:], start=1):
+            assert point.step == i
+            assert point.event.startswith(("-", "+"))
+            assert point.links_changed > 0
+            assert 0 < point.pairs_recomputed <= result.pairs_total
+            for curve in result.curves:
+                assert point.mloads[curve] > 0
+                assert point.reroute_ms[curve] >= 0.0
+        for event in result.points[1:]:
+            assert event.event in result.trace
+
+    def test_deterministic(self):
+        assert churn_sweep.run(**SMALL).rows() == \
+               churn_sweep.run(**SMALL).rows()
+
+    def test_churn_seed_changes_trace(self):
+        a = churn_sweep.run(**SMALL, churn_seed=0)
+        b = churn_sweep.run(**SMALL, churn_seed=1)
+        assert a.trace != b.trace
+
+    def test_n_events_defaults_by_fidelity(self):
+        result = churn_sweep.run(
+            topology=m_port_n_tree(4, 2), fidelity_name="fast",
+            curves=("d-mod-k",))
+        assert len(result.points) == \
+            churn_sweep.EVENTS_BY_FIDELITY["fast"] + 1
+
+    def test_render_mentions_curves_and_steps(self):
+        text = churn_sweep.run(**SMALL).render()
+        assert "Churn sweep" in text
+        assert "d-mod-k" in text and "disjoint:2" in text
+        assert "(pristine)" in text
+        assert "event step" in text
+
+    def test_telemetry_events(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            result = churn_sweep.run(**SMALL)
+        points = rec.events_of("churn_sweep_point")
+        assert len(points) == len(result.points)
+        assert points[0]["fabric"] == "pristine"
+        assert rec.counters["faults.reroute.events"] == \
+            SMALL["n_events"] * len(SMALL["curves"])
+
+
+class TestCaching:
+    def test_warm_replay_is_free_and_identical(self, tmp_path):
+        cold = churn_sweep.run(**SMALL, cache=ResultCache(tmp_path))
+        assert cold.samples_used > 0
+        warm = churn_sweep.run(**SMALL, cache=ResultCache(tmp_path))
+        assert warm.samples_used == 0
+        assert cold.rows() == warm.rows()
+
+    def test_longer_trace_replays_shared_prefix(self, tmp_path):
+        short = dict(SMALL, n_events=2)
+        churn_sweep.run(**short, cache=ResultCache(tmp_path))
+        rec = Recorder()
+        with use_recorder(rec):
+            churn_sweep.run(**SMALL, cache=ResultCache(tmp_path))
+        # baseline + first 2 events per curve came from the cache
+        assert rec.counters["runner.cache_hit"] == \
+            3 * len(SMALL["curves"])
+
+    def test_traffic_seed_misses_cache(self, tmp_path):
+        churn_sweep.run(**SMALL, cache=ResultCache(tmp_path))
+        again = churn_sweep.run(**SMALL, seed=999,
+                                cache=ResultCache(tmp_path))
+        assert again.samples_used > 0
+
+
+def _golden_payload():
+    result = churn_sweep.run(fidelity_name="fast", churn_seed=0)
+    return {
+        "topology": result.topology,
+        "curves": list(result.curves),
+        "trace": result.trace,
+        "pairs_total": result.pairs_total,
+        "points": [
+            {
+                "step": p.step,
+                "event": p.event,
+                "fabric": p.fabric,
+                "links_changed": p.links_changed,
+                "pairs_recomputed": p.pairs_recomputed,
+                "mloads": {k: round(v, 12) for k, v in p.mloads.items()},
+            }
+            for p in result.points
+        ],
+    }
+
+
+def test_golden_trajectory(request):
+    """One seeded fast-fidelity trajectory on the 8-port 3-tree, pinned
+    field by field (wall-clock latencies excluded — see ChurnPoint)."""
+    payload = _golden_payload()
+    if request.config.getoption("--regen-goldens"):
+        GOLDEN_FILE.parent.mkdir(exist_ok=True)
+        GOLDEN_FILE.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_FILE}")
+    assert GOLDEN_FILE.exists(), (
+        f"{GOLDEN_FILE} missing; run with --regen-goldens to create it"
+    )
+    expected = json.loads(GOLDEN_FILE.read_text())
+    assert payload["topology"] == expected["topology"]
+    assert payload["curves"] == expected["curves"]
+    assert payload["trace"] == expected["trace"]
+    assert payload["pairs_total"] == expected["pairs_total"]
+    assert len(payload["points"]) == len(expected["points"])
+    for got, want in zip(payload["points"], expected["points"]):
+        for field in ("step", "event", "fabric", "links_changed",
+                      "pairs_recomputed"):
+            assert got[field] == want[field], (
+                f"step {want['step']}: {field} drifted "
+                f"(--regen-goldens if intentional)")
+        for curve, value in want["mloads"].items():
+            assert got["mloads"][curve] == pytest.approx(value, abs=1e-9), (
+                f"step {want['step']}: {curve} MLOAD drifted: "
+                f"{got['mloads'][curve]} != {value} "
+                f"(--regen-goldens if intentional)")
+
+
+def test_golden_file_is_committed_and_well_formed():
+    data = json.loads(GOLDEN_FILE.read_text())
+    assert data["points"][0]["fabric"] == "pristine"
+    assert len(data["points"]) >= 2
+    assert data["pairs_total"] > 0
+    for point in data["points"]:
+        assert set(point["mloads"]) == set(data["curves"])

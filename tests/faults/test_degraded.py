@@ -122,6 +122,91 @@ class TestDegradedFabric:
         assert fabric.n_failed_switches == 1
 
 
+class TestFabricMutation:
+    """In-place fail/repair events: refcounts, caches, versioning."""
+
+    def test_fail_repair_roundtrip_restores_pristine(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x2)
+        dead = fabric.fail_cable(up1.start)
+        assert dead.size == 2 and not fabric.is_pristine
+        revived = fabric.repair_cable(up1.start)
+        assert sorted(revived) == sorted(dead)
+        assert fabric.is_pristine
+        assert fabric.link_ok.all()
+        assert fabric.failed_cables == ()
+
+    def test_is_connected_cache_invalidated_on_failure(self, tree8x2):
+        # Regression: the cached answer must never survive a mutation.
+        # Query (caches True) -> fail a critical host uplink -> the next
+        # query must be recomputed, not served stale.
+        up0, _ = tree8x2.boundary_link_slices(0)
+        fabric = DegradedFabric(tree8x2)
+        assert fabric.is_connected
+        fabric.fail_cable(up0.start)
+        assert not fabric.is_connected
+
+    def test_is_connected_cache_invalidated_on_repair(self, tree8x2):
+        up0, _ = tree8x2.boundary_link_slices(0)
+        fabric = DegradedFabric(tree8x2, failed_cables=[up0.start])
+        assert not fabric.is_connected
+        fabric.repair_cable(up0.start)
+        assert fabric.is_connected
+
+    def test_version_bumps_on_every_event(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x2)
+        v0 = fabric.version
+        fabric.fail_cable(up1.start)
+        v1 = fabric.version
+        fabric.repair_cable(up1.start)
+        assert v0 < v1 < fabric.version
+
+    def test_overlapping_switch_and_cable_refcount(self, tree8x3):
+        # A link covered by a dead switch AND a dead cable only comes
+        # back when its last cause is repaired.
+        fabric = DegradedFabric(tree8x3)
+        incident = switch_links(tree8x3, 1, 0)
+        cable = next(c for c in incident
+                     if tree8x3.link_ref(c).kind.value == "up")
+        up, down = cable_links(tree8x3, cable)
+        fabric.fail_switch(1, 0)
+        changed = fabric.fail_cable(cable)
+        assert changed.size == 0  # both links already dead via the switch
+        fabric.repair_switch(1, 0)
+        assert not fabric.link_ok[up] and not fabric.link_ok[down]
+        revived = fabric.repair_cable(cable)
+        assert sorted(revived) == sorted((up, down))
+        assert fabric.is_pristine
+
+    def test_double_fail_and_repair_unfailed_raise(self, tree8x2):
+        up1, _ = tree8x2.boundary_link_slices(1)
+        fabric = DegradedFabric(tree8x2)
+        fabric.fail_cable(up1.start)
+        with pytest.raises(FaultError, match="already failed"):
+            fabric.fail_cable(up1.start)
+        with pytest.raises(FaultError, match="is not failed"):
+            fabric.repair_cable(up1.start + 1)
+        with pytest.raises(FaultError, match="is not failed"):
+            fabric.repair_switch(1, 0)
+        fabric.fail_switch(1, 0)
+        with pytest.raises(FaultError, match="already failed"):
+            fabric.fail_switch(1, 0)
+
+    def test_constructor_equals_event_sequence(self, tree8x3):
+        up1, _ = tree8x3.boundary_link_slices(1)
+        cables = [up1.start, up1.start + 2]
+        at_once = DegradedFabric(tree8x3, failed_cables=cables,
+                                 failed_switches=[(2, 1)])
+        stepwise = DegradedFabric(tree8x3)
+        for c in cables:
+            stepwise.fail_cable(c)
+        stepwise.fail_switch(2, 1)
+        assert np.array_equal(at_once.link_ok, stepwise.link_ok)
+        assert at_once.failed_cables == stepwise.failed_cables
+        assert at_once.failed_switches == stepwise.failed_switches
+
+
 def test_m_port_tree_cable_pairing_exhaustive():
     xgft = m_port_n_tree(4, 2)
     for boundary in range(xgft.h):

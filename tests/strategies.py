@@ -12,7 +12,8 @@ from __future__ import annotations
 from hypothesis import assume
 from hypothesis import strategies as st
 
-from repro.faults import DegradedFabric, FaultSpec
+from repro.faults import ChurnSpec, ChurnTrace, DegradedFabric, FaultSpec
+from repro.faults.churn import generate_trace
 from repro.faults.spec import samplable_cables, samplable_switches
 from repro.routing.factory import make_scheme
 from repro.topology.xgft import XGFT
@@ -82,3 +83,30 @@ def degraded_cases(draw, **shape_kwargs):
     fabric = draw(degraded_fabrics(xgft))
     scheme = draw(schemes(xgft))
     return xgft, fabric, scheme
+
+
+@st.composite
+def churn_specs(draw, max_events: int = 12) -> ChurnSpec:
+    """A bounded churn-stream description (seeded, connected-only)."""
+    return ChurnSpec(
+        n_events=draw(st.integers(min_value=0, max_value=max_events)),
+        fail_bias=draw(st.floats(min_value=0.1, max_value=0.9)),
+        switch_fraction=draw(st.sampled_from((0.0, 0.25))),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+@st.composite
+def churn_traces(draw, xgft: XGFT, max_events: int = 12) -> ChurnTrace:
+    """A concrete generated trace on ``xgft`` (assumes churnable)."""
+    assume(len(samplable_cables(xgft)) or len(samplable_switches(xgft)))
+    return generate_trace(xgft, draw(churn_specs(max_events=max_events)))
+
+
+@st.composite
+def churn_cases(draw, max_events: int = 12, **shape_kwargs):
+    """(xgft, trace, scheme) triple: the churn property-test input."""
+    xgft = draw(xgfts(**shape_kwargs))
+    trace = draw(churn_traces(xgft, max_events=max_events))
+    scheme = draw(schemes(xgft))
+    return xgft, trace, scheme

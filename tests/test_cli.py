@@ -65,6 +65,19 @@ class TestCommands:
     def test_reference_engine_is_always_accepted(self, capsys):
         assert main(["resources", "--engine", "reference", "--quiet"]) == 0
 
+    def test_churn_flags_forwarded_to_aware_experiment(self, capsys):
+        # churn-sweep is churn-aware: the flags must reach the runner
+        # (2 events -> pristine baseline + 2 trajectory points).
+        assert main(["churn-sweep", "--fidelity", "fast",
+                     "--churn-events", "2", "--churn-seed", "3",
+                     "--quiet"]) == 0
+
+    def test_churn_flags_rejected_for_unaware_experiment(self, capsys):
+        assert main(["table1", "--churn-events", "2"]) == 2
+        assert "does not support churn" in capsys.readouterr().err
+        assert main(["fault-sweep", "--churn-seed", "1"]) == 2
+        assert "does not support churn" in capsys.readouterr().err
+
 
 class TestGlobalOptions:
     def test_version(self, capsys):
