@@ -1,10 +1,13 @@
-"""Microbenchmark of the flit-level event engine.
+"""Microbenchmark of the flit-level event engines.
 
 Times a fixed-window run on the paper's 8-port 3-tree at moderate load
 and reports the event-processing rate — the figure that bounds how long
-Table 1 / Figure 5 regeneration takes.
+Table 1 / Figure 5 regeneration takes — for both the reference heap
+engine and the batched calendar-queue engine (which must produce
+bit-identical results while clearing the >= 5x speedup gate).
 """
 
+from repro.flit.batched import BatchedFlitSimulator
 from repro.flit.config import FlitConfig
 from repro.flit.engine import FlitSimulator
 from repro.flit.workload import UniformRandom
@@ -12,12 +15,33 @@ from repro.routing.factory import make_scheme
 from repro.topology.variants import m_port_n_tree
 
 
-def test_engine_event_rate(benchmark):
+def _setup():
     xgft = m_port_n_tree(8, 3)
     cfg = FlitConfig(warmup_cycles=200, measure_cycles=1500, drain_cycles=500)
-    sim = FlitSimulator(xgft, make_scheme(xgft, "disjoint:4"), cfg)
+    return xgft, make_scheme(xgft, "disjoint:4"), cfg
+
+
+def test_engine_event_rate(benchmark):
+    xgft, scheme, cfg = _setup()
+    sim = FlitSimulator(xgft, scheme, cfg)
 
     result = benchmark(sim.run, UniformRandom(0.6), seed=1)
+    assert result.events > 10_000
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.mean
+    )
+
+
+def test_batched_engine_event_rate(benchmark):
+    xgft, scheme, cfg = _setup()
+    reference = FlitSimulator(xgft, scheme, cfg)
+    sim = BatchedFlitSimulator(xgft, scheme, cfg)
+    workload = UniformRandom(0.6)
+    # Parity first (also absorbs the one-time native-kernel compile).
+    assert sim.run(workload, seed=1) == reference.run(workload, seed=1)
+
+    result = benchmark(sim.run, workload, seed=1)
     assert result.events > 10_000
     benchmark.extra_info["events"] = result.events
     benchmark.extra_info["events_per_sec"] = (

@@ -72,7 +72,7 @@ from repro.flow import (
 # repro.obs (run telemetry: recorder, JSONL logs, manifests),
 # repro.runner (persistent pools, on-disk result cache, parallel sweeps).
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

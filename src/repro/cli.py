@@ -20,9 +20,12 @@ Every experiment subcommand also accepts the telemetry options
 (:mod:`repro.obs`): ``--seed N`` for a reproducible invocation,
 ``--log-json PATH`` to write a JSONL run log (manifest line, event
 stream, metrics line), ``--profile`` to print a timer/counter report,
-and ``--quiet`` to suppress the rendered result.  Flow-level permutation
-experiments additionally accept ``--engine {reference,compiled}`` to pick
-the evaluator (compiled = compile routes once, batch-evaluate rounds).
+and ``--quiet`` to suppress the rendered result.  Engine-aware
+experiments accept ``--engine``: flow-level permutation studies take
+``compiled`` (compile routes once, batch-evaluate rounds) and flit-level
+sweeps (``table1``, ``figure5``) take ``batched`` (the calendar-queue
+flit kernel, bit-identical to the reference engine but several times
+faster); ``reference`` is the default everywhere.
 Fault-aware experiments (``fault-sweep``) accept ``--fault-rate R[,R...]``
 (link failure rate grid), ``--fault-links ID[,ID...]`` (explicit failed
 cables) and ``--fault-seed N`` (fault sampler seed).  Churn-aware
@@ -119,6 +122,56 @@ def _parse_csv(value, cast, flag: str):
         raise ReproError(f"bad {flag} value {value!r}: {exc}") from None
 
 
+# -- argparse type validators -----------------------------------------
+# Bad values fail at parse time with a typed usage error instead of
+# surfacing later as a numpy broadcast error or a dead process pool.
+
+def _arg_jobs(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _arg_count(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {n}")
+    return n
+
+
+def _arg_fault_rates(value: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(p) for p in value.split(",") if p)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {value!r}")
+    for r in rates:
+        if not 0.0 <= r <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"failure rates are fractions in [0, 1], got {r}")
+    return rates
+
+
+def _arg_fault_links(value: str) -> tuple[int, ...]:
+    try:
+        links = tuple(int(p) for p in value.split(",") if p)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated cable ids, got {value!r}")
+    for link in links:
+        if link < 0:
+            raise argparse.ArgumentTypeError(
+                f"cable ids are >= 0, got {link}")
+    return links
+
+
 def _cmd_report(args) -> int:
     import json as _json
 
@@ -196,8 +249,8 @@ def _cmd_experiment(args) -> int:
             recorder=rec,
             argv=getattr(args, "_argv", None),
             engine=args.engine,
-            fault_rate=_parse_csv(args.fault_rate, float, "--fault-rate"),
-            fault_links=_parse_csv(args.fault_links, int, "--fault-links"),
+            fault_rate=args.fault_rate,
+            fault_links=args.fault_links,
             fault_seed=args.fault_seed,
             jobs=args.jobs,
             cache=args.cache,
@@ -297,23 +350,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the rendered result (use with --log-json)")
     obs_parent.add_argument(
-        "--engine", choices=("reference", "compiled"), default=None,
-        help="flow evaluator: re-derive routes per matrix (reference) or "
-             "compile once and batch-evaluate (compiled); only flow-level "
-             "permutation experiments accept a non-default engine")
+        "--engine", choices=("reference", "compiled", "batched"),
+        default=None,
+        help="simulation backend: flow experiments take 'compiled' "
+             "(compile routes once, batch-evaluate rounds), flit "
+             "experiments (table1, figure5) take 'batched' (calendar-"
+             "queue kernel, bit-identical to the reference); 'reference' "
+             "is the default everywhere")
     obs_parent.add_argument(
         "--fault-rate", metavar="R[,R...]", default=None,
+        type=_arg_fault_rates,
         help="link failure rate grid for fault-aware experiments, e.g. "
-             "0,0.02,0.05 (fraction of non-critical cables failed)")
+             "0,0.02,0.05 (fractions in [0, 1] of non-critical cables "
+             "failed)")
     obs_parent.add_argument(
         "--fault-links", metavar="ID[,ID...]", default=None,
+        type=_arg_fault_links,
         help="explicit failed cables (up-link ids) instead of random "
              "sampling; only fault-aware experiments accept this")
     obs_parent.add_argument(
         "--fault-seed", type=int, default=None, metavar="N",
         help="fault-sampler seed, independent of the traffic --seed")
     obs_parent.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_arg_jobs, default=None, metavar="N",
         help="worker processes for flit sweep grids (table1, figure5); "
              "results are bit-identical to a serial run for a fixed seed")
     obs_parent.add_argument(
@@ -326,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default .repro-cache/; implies "
              "--cache unless --no-cache is given)")
     obs_parent.add_argument(
-        "--churn-events", type=int, default=None, metavar="N",
+        "--churn-events", type=_arg_count, default=None, metavar="N",
         help="fail/repair event-stream length for churn-aware "
              "experiments (churn-sweep); default set by --fidelity")
     obs_parent.add_argument(

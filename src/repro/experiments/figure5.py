@@ -85,6 +85,7 @@ def run(
     seed: int | None = None,
     n_jobs: int = 1,
     cache=None,
+    engine: str = "reference",
 ) -> Figure5Result:
     """Regenerate Figure 5's delay curves.
 
@@ -93,7 +94,8 @@ def run(
     (curve x load x repeat) grid out over one process pool and ``cache``
     (a :class:`~repro.runner.cache.ResultCache`) replays completed
     points from disk; both return results bit-identical to the serial
-    run for a fixed seed.
+    run for a fixed seed.  ``engine`` selects the flit backend
+    (``reference`` or the bit-identical, faster ``batched``).
     """
     fid = fidelity(fidelity_name)
     xgft = topology if topology is not None else m_port_n_tree(8, 3)
@@ -107,10 +109,11 @@ def run(
         # One grid, one pool: every curve's points share the workers and
         # the shipped route tables (lazy import keeps the serial path
         # free of the runner stack).
-        from repro.flit.engine import FlitSimulator
+        from repro.flit.batched import make_flit_simulator
         from repro.runner.sweep import run_sweeps
 
-        sims = {spec: FlitSimulator(xgft, make_scheme(xgft, spec), cfg)
+        sims = {spec: make_flit_simulator(
+                    engine, xgft, make_scheme(xgft, spec), cfg)
                 for spec in curves}
         sweeps = run_sweeps(sims, loads=loads, repeats=fid.flit_repeats,
                             n_jobs=n_jobs, cache=cache)
@@ -119,5 +122,5 @@ def run(
         for spec in curves:
             scheme = make_scheme(xgft, spec)
             sweeps[spec] = load_sweep(xgft, scheme, cfg, loads=loads,
-                                      repeats=fid.flit_repeats)
+                                      repeats=fid.flit_repeats, engine=engine)
     return Figure5Result(repr(xgft), tuple(loads), sweeps)

@@ -23,8 +23,11 @@ class Experiment:
     """A named, runnable reproduction target.
 
     ``engine_aware`` marks experiments whose runner accepts the
-    ``engine`` keyword (flow-level permutation studies); the CLI's
-    ``--engine`` flag is only forwarded to those.  ``fault_aware`` marks
+    ``engine`` keyword — the flow-level permutation studies
+    (``reference`` / ``compiled``) and the flit-level sweeps
+    (``reference`` / ``batched``); the CLI's ``--engine`` flag is only
+    forwarded to those, and each runner validates the engine names its
+    own layer registers.  ``fault_aware`` marks
     runners accepting the fault-injection keywords (``fault_rate`` /
     ``fault_links`` / ``fault_seed``); the CLI's ``--fault-*`` flags are
     only forwarded to those.  ``runner_aware`` marks runners accepting
@@ -113,11 +116,11 @@ EXPERIMENTS: dict[str, Experiment] = {
     },
     "table1": Experiment(
         "table1", "Table 1: max throughput, uniform traffic, flit level",
-        _table1, runner_aware=True,
+        _table1, engine_aware=True, runner_aware=True,
     ),
     "figure5": Experiment(
         "figure5", "Figure 5: message delay vs offered load, flit level",
-        _figure5, runner_aware=True,
+        _figure5, engine_aware=True, runner_aware=True,
     ),
     "theorems": Experiment(
         "theorems", "Lemma 1 / Theorem 1 / Theorem 2 validation", _theorems
@@ -194,7 +197,8 @@ def run_instrumented(
     the ambient one and is installed as ambient for the duration, so
     every instrumented layer (sampling rounds, the flit engine, scheme
     construction) reports into it.  ``engine`` (``"reference"`` /
-    ``"compiled"``) is forwarded only to engine-aware experiments;
+    ``"compiled"`` for flow experiments, ``"reference"`` / ``"batched"``
+    for flit experiments) is forwarded only to engine-aware experiments;
     requesting a non-reference engine anywhere else is an error rather
     than a silent no-op.  The fault keywords (``fault_rate`` failure-rate
     grid, ``fault_links`` explicit cable ids, ``fault_seed``) mirror

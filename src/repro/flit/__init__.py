@@ -6,6 +6,12 @@ sweeps reproduce the paper's delay-vs-load curves and maximum-throughput
 tables.
 """
 
+from repro.flit.batched import (
+    BatchedFlitSimulator,
+    ENGINES,
+    flit_engine_class,
+    make_flit_simulator,
+)
 from repro.flit.config import FlitConfig, PATH_SELECTION_MODES
 from repro.flit.engine import FlitSimulator
 from repro.flit.message import Message, Packet
@@ -28,6 +34,10 @@ __all__ = [
     "FlitConfig",
     "PATH_SELECTION_MODES",
     "FlitSimulator",
+    "BatchedFlitSimulator",
+    "ENGINES",
+    "flit_engine_class",
+    "make_flit_simulator",
     "Message",
     "Packet",
     "FlitRunResult",

@@ -84,6 +84,20 @@ class _Fifo:
         return len(self.items) - self.head
 
 
+def free_vc(credits: list, channel: int, n_vcs: int) -> int:
+    """A sub-channel (virtual channel lane) of ``channel`` holding a
+    downstream credit, or -1 when every VC is exhausted.
+
+    VCs are scanned in lane order, so lane 0 is preferred while it has
+    credits — the deterministic tie-break both engines share.
+    """
+    base = channel * n_vcs
+    for v in range(n_vcs):
+        if credits[base + v] > 0:
+            return base + v
+    return -1
+
+
 class FlitSimulator:
     """Flit-level simulator bound to one topology and routing scheme.
 
@@ -252,14 +266,6 @@ class FlitSimulator:
         requests: list[_Fifo] = [_Fifo() for _ in range(n_channels)]
         rr_state: dict[int, int] = {}
 
-        def free_vc(c: int) -> int:
-            """A sub-channel of ``c`` with a credit, or -1."""
-            base = c * n_vcs
-            for v in range(n_vcs):
-                if credits[base + v] > 0:
-                    return base + v
-            return -1
-
         heap: list[tuple[int, int, int, object]] = []
         seq = 0
 
@@ -268,12 +274,21 @@ class FlitSimulator:
             heappush(heap, (time, seq, kind, payload))
             seq += 1
 
+        # Arrival process: per-host Poisson with mean gap ``mean_gap``.
+        # Arrival times accumulate as floats and are floored once per
+        # message (+1 keeps the first arrival >= cycle 1): flooring each
+        # gap independently (the old ``int(gap) + 1`` per draw) adds an
+        # expected half cycle per message, biasing the injected load low
+        # by load/(2*mean_gap) — ~15% at high load with short messages.
+        inject_clock = [0.0] * n_procs
         if _trace is None:
             mean_gap = workload.mean_interarrival(cfg.message_flits)
+            rate = 1.0 / mean_gap
             for host in range(n_procs):
-                push(int(rng.expovariate(1.0 / mean_gap)) + 1, _INJECT, host)
+                inject_clock[host] = rng.expovariate(rate)
+                push(int(inject_clock[host]) + 1, _INJECT, host)
         else:
-            mean_gap = 0.0
+            rate = 0.0
             for entry in _trace:
                 push(entry.cycle, _INJECT, (entry.src, entry.dst))
 
@@ -333,7 +348,7 @@ class FlitSimulator:
             the port is free and a downstream credit (any VC) exists."""
             if busy_until[c] > t or len(requests[c]) == 0:
                 return
-            sub = free_vc(c)
+            sub = free_vc(credits, c, n_vcs)
             if sub < 0:
                 nonlocal credit_stalls
                 credit_stalls += 1
@@ -351,7 +366,7 @@ class FlitSimulator:
             (no head-of-line coupling between different outputs)."""
             if busy_until[c] > t or len(requests[c]) == 0:
                 return
-            sub = free_vc(c)
+            sub = free_vc(credits, c, n_vcs)
             if sub < 0:
                 nonlocal credit_stalls
                 credit_stalls += 1
@@ -423,9 +438,11 @@ class FlitSimulator:
                             path = paths[(base + i) % len(paths)]
                         enqueue(Packet(msg, path), now)
                 if reschedule:
-                    gap = int(rng.expovariate(1.0 / mean_gap)) + 1
-                    if now + gap < window_end:
-                        push(now + gap, _INJECT, host)
+                    clock = inject_clock[host] + rng.expovariate(rate)
+                    inject_clock[host] = clock
+                    nxt = int(clock) + 1
+                    if nxt < window_end:
+                        push(nxt, _INJECT, host)
 
             elif kind == _HEADER:
                 pkt = payload

@@ -1,0 +1,315 @@
+/* Native phase-B kernel for the batched flit engine (output-queued).
+ *
+ * Compiled on demand by repro.flit.native and loaded through ctypes;
+ * when no C compiler is available the python kernels in
+ * repro.flit.batched run instead.  This file must mirror those kernels
+ * event for event: phase A (repro.flit.batched._injection_plan) has
+ * already drawn every random number, so the work here is pure integer
+ * event processing — same calendar-queue order, same fused
+ * port-free/credit events, same counters — and the differential parity
+ * suite (tests/flit/test_engine_parity.py) pins it to the reference
+ * engine bit for bit.
+ *
+ * Data layout notes:
+ *  - Per-output request queues are intrusive singly-linked lists over
+ *    the packet id space (a packet waits in at most one queue), so
+ *    enqueue/dequeue are pointer writes with no allocation.
+ *  - Calendar buckets are intrusive lists over an event-node arena
+ *    sized up front: pushes = plan events + 2 per transmit, and a
+ *    packet transmits at most once per hop of its route, so the bound
+ *    is exact and the arena never grows.
+ *  - Buckets extend `slack` cycles past the horizon so pushes are never
+ *    range-checked; anything parked there is a reference "pushed past
+ *    the horizon, never popped" event (it only pins sim_cycles).
+ */
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef int64_t i64;
+
+enum {
+    EV_HEADER = 0,     /* payload: packet id */
+    EV_PORTCREDIT = 1, /* payload: channel | (holding+1) << cbits */
+    EV_DELIVER = 2,    /* payload: packet id */
+    EV_INJECT = 3      /* payload: injection-plan event id */
+};
+
+enum {
+    P_N_PLAN = 0,
+    P_N_INITIAL = 1,
+    P_N_MSGS = 2,
+    P_PPM = 3,
+    P_N_CHANNELS = 4,
+    P_N_VCS = 5,
+    P_PF = 6,
+    P_WIRE_PF = 7,
+    P_WIRE_RD = 8,
+    P_WARMUP = 9,
+    P_WINDOW_END = 10,
+    P_HORIZON = 11,
+    P_SLACK = 12,
+    P_CBITS = 13,
+    P_OVERFLOW_IN = 14,
+    P_COUNT = 15
+};
+
+enum {
+    O_MESSAGES_COMPLETED = 0,
+    O_FLITS_DELIVERED = 1,
+    O_CREDIT_STALLS = 2,
+    O_EVENTS = 3,
+    O_LAST_T = 4,
+    O_OVERFLOW = 5,
+    O_N_DELAYS = 6,
+    O_COUNT = 7
+};
+
+typedef struct {
+    /* network + packet state */
+    i64 *busy_until;
+    i64 *credits;
+    i64 *q_head;
+    i64 *q_tail;
+    i64 *next_pkt;
+    i64 *pkt_hop;
+    i64 *pkt_holding;
+    const i64 *pkt_off;
+    const i64 *pkt_path;
+    /* calendar queue */
+    i64 *node_ev;
+    i64 *node_next;
+    i64 n_nodes;
+    i64 *bucket_head;
+    i64 *bucket_tail;
+    /* config */
+    i64 n_vcs;
+    i64 pf;
+    i64 wire_pf;
+    i64 wire_rd;
+    i64 cbits;
+    /* counters */
+    i64 credit_stalls;
+} Ctx;
+
+static void push(Ctx *x, i64 tt, i64 ev)
+{
+    i64 i = x->n_nodes++;
+    x->node_ev[i] = ev;
+    x->node_next[i] = -1;
+    if (x->bucket_tail[tt] < 0)
+        x->bucket_head[tt] = i;
+    else
+        x->node_next[x->bucket_tail[tt]] = i;
+    x->bucket_tail[tt] = i;
+}
+
+static void enqueue(Ctx *x, i64 c, i64 p)
+{
+    x->next_pkt[p] = -1;
+    if (x->q_tail[c] < 0)
+        x->q_head[c] = p;
+    else
+        x->next_pkt[x->q_tail[c]] = p;
+    x->q_tail[c] = p;
+}
+
+/* One arbitration attempt at output `c`: head packet wins if the port
+ * is idle and any VC of `c` holds a downstream credit (lane order is
+ * the shared deterministic tie-break). */
+static void serve(Ctx *x, i64 c, i64 t)
+{
+    i64 p, sub, hop, base, v;
+    if (x->busy_until[c] > t)
+        return;
+    p = x->q_head[c];
+    if (p < 0)
+        return;
+    sub = -1;
+    base = c * x->n_vcs;
+    for (v = 0; v < x->n_vcs; v++) {
+        if (x->credits[base + v] > 0) {
+            sub = base + v;
+            break;
+        }
+    }
+    if (sub < 0) {
+        x->credit_stalls++;
+        return;
+    }
+    x->q_head[c] = x->next_pkt[p];
+    if (x->q_head[c] < 0)
+        x->q_tail[c] = -1;
+    x->credits[sub]--;
+    x->busy_until[c] = t + x->pf;
+    push(x, t + x->pf,
+         EV_PORTCREDIT | ((c | (x->pkt_holding[p] + 1) << x->cbits) << 3));
+    x->pkt_holding[p] = sub;
+    hop = x->pkt_hop[p];
+    if (hop == x->pkt_off[p + 1] - x->pkt_off[p] - 1)
+        push(x, t + x->wire_pf, EV_DELIVER | p << 3);
+    else
+        push(x, t + x->wire_rd, EV_HEADER | p << 3);
+}
+
+long run_oq(const i64 *params,
+            const i64 *ev_cycle, const i64 *ev_msg, const i64 *ev_child,
+            const i64 *msg_created, const uint8_t *msg_measured,
+            const i64 *pkt_off, const i64 *pkt_path,
+            i64 *credits, i64 *delays, i64 *out)
+{
+    const i64 n_plan = params[P_N_PLAN];
+    const i64 n_initial = params[P_N_INITIAL];
+    const i64 n_msgs = params[P_N_MSGS];
+    const i64 ppm = params[P_PPM];
+    const i64 n_channels = params[P_N_CHANNELS];
+    const i64 warmup = params[P_WARMUP];
+    const i64 window_end = params[P_WINDOW_END];
+    const i64 horizon = params[P_HORIZON];
+    const i64 slack = params[P_SLACK];
+    const i64 cbits = params[P_CBITS];
+    const i64 cmask = ((i64)1 << cbits) - 1;
+    const i64 n_pkts = n_msgs * ppm;
+    const i64 n_buckets = horizon + slack + 1;
+    const i64 cap = n_plan + 2 * (n_pkts ? pkt_off[n_pkts] : 0) + 8;
+    const i64 pf = params[P_PF];
+
+    i64 *msg_remaining = NULL;
+    i64 t, e, p, m, i, ev, kind, payload, c, h1, last_t, events, overflow;
+    i64 n_delays, messages_completed, flits_delivered;
+    long rc = 1;
+    Ctx x;
+
+    x.n_vcs = params[P_N_VCS];
+    x.pf = pf;
+    x.wire_pf = params[P_WIRE_PF];
+    x.wire_rd = params[P_WIRE_RD];
+    x.cbits = cbits;
+    x.credit_stalls = 0;
+    x.n_nodes = 0;
+    x.pkt_off = pkt_off;
+    x.pkt_path = pkt_path;
+    x.credits = credits;
+
+    x.busy_until = calloc(n_channels ? n_channels : 1, sizeof(i64));
+    x.q_head = malloc((n_channels ? n_channels : 1) * sizeof(i64));
+    x.q_tail = malloc((n_channels ? n_channels : 1) * sizeof(i64));
+    x.next_pkt = malloc((n_pkts ? n_pkts : 1) * sizeof(i64));
+    x.pkt_hop = calloc(n_pkts ? n_pkts : 1, sizeof(i64));
+    x.pkt_holding = malloc((n_pkts ? n_pkts : 1) * sizeof(i64));
+    msg_remaining = malloc((n_msgs ? n_msgs : 1) * sizeof(i64));
+    x.node_ev = malloc(cap * sizeof(i64));
+    x.node_next = malloc(cap * sizeof(i64));
+    x.bucket_head = malloc(n_buckets * sizeof(i64));
+    x.bucket_tail = malloc(n_buckets * sizeof(i64));
+    if (!x.busy_until || !x.q_head || !x.q_tail || !x.next_pkt ||
+        !x.pkt_hop || !x.pkt_holding || !msg_remaining || !x.node_ev ||
+        !x.node_next || !x.bucket_head || !x.bucket_tail)
+        goto done;
+
+    for (i = 0; i < n_channels; i++)
+        x.q_head[i] = x.q_tail[i] = -1;
+    for (p = 0; p < n_pkts; p++)
+        x.pkt_holding[p] = -1;
+    for (m = 0; m < n_msgs; m++)
+        msg_remaining[m] = ppm;
+    for (i = 0; i < n_buckets; i++)
+        x.bucket_head[i] = x.bucket_tail[i] = -1;
+
+    /* Initial inject events in plan (= reference push) order; initial
+     * arrival cycles are the only unbounded times, hence the guard. */
+    for (e = 0; e < n_initial; e++) {
+        if (ev_cycle[e] <= horizon)
+            push(&x, ev_cycle[e], EV_INJECT | e << 3);
+    }
+
+    last_t = 0;
+    events = 0;
+    n_delays = 0;
+    messages_completed = 0;
+    flits_delivered = 0;
+    overflow = params[P_OVERFLOW_IN];
+
+    for (t = 0; t <= horizon; t++) {
+        i = x.bucket_head[t];
+        if (i < 0)
+            continue;
+        last_t = t;
+        /* Follow next-links; same-cycle pushes extend the tail and are
+         * picked up naturally, matching the heap's behavior. */
+        while (i >= 0) {
+            ev = x.node_ev[i];
+            events++;
+            kind = ev & 7;
+            if (kind == EV_PORTCREDIT) {
+                payload = ev >> 3;
+                serve(&x, payload & cmask, t);
+                h1 = payload >> cbits;
+                if (h1) {
+                    events++; /* the fused credit half */
+                    x.credits[h1 - 1]++;
+                    serve(&x, (h1 - 1) / x.n_vcs, t);
+                }
+            } else if (kind == EV_HEADER) {
+                p = ev >> 3;
+                c = pkt_path[pkt_off[p] + (++x.pkt_hop[p])];
+                enqueue(&x, c, p);
+                serve(&x, c, t);
+            } else if (kind == EV_DELIVER) {
+                c = x.pkt_holding[p = ev >> 3];
+                x.credits[c]++; /* host drains at link rate */
+                serve(&x, c / x.n_vcs, t);
+                m = p / ppm;
+                if (warmup <= t && t < window_end)
+                    flits_delivered += pf;
+                if (--msg_remaining[m] == 0 && msg_measured[m]) {
+                    messages_completed++;
+                    delays[n_delays++] = t - msg_created[m];
+                }
+            } else { /* EV_INJECT */
+                e = ev >> 3;
+                m = ev_msg[e];
+                if (m >= 0) {
+                    for (p = m * ppm; p < m * ppm + ppm; p++) {
+                        c = pkt_path[pkt_off[p]];
+                        enqueue(&x, c, p);
+                        serve(&x, c, t);
+                    }
+                }
+                if (ev_child[e] >= 0)
+                    push(&x, ev_cycle[ev_child[e]],
+                         EV_INJECT | ev_child[e] << 3);
+            }
+            i = x.node_next[i];
+        }
+    }
+
+    for (t = horizon + 1; t < n_buckets; t++) {
+        if (x.bucket_head[t] >= 0) {
+            overflow = 1; /* pushed past the horizon, never popped */
+            break;
+        }
+    }
+
+    out[O_MESSAGES_COMPLETED] = messages_completed;
+    out[O_FLITS_DELIVERED] = flits_delivered;
+    out[O_CREDIT_STALLS] = x.credit_stalls;
+    out[O_EVENTS] = events;
+    out[O_LAST_T] = last_t;
+    out[O_OVERFLOW] = overflow;
+    out[O_N_DELAYS] = n_delays;
+    rc = 0;
+
+done:
+    free(x.busy_until);
+    free(x.q_head);
+    free(x.q_tail);
+    free(x.next_pkt);
+    free(x.pkt_hop);
+    free(x.pkt_holding);
+    free(msg_remaining);
+    free(x.node_ev);
+    free(x.node_next);
+    free(x.bucket_head);
+    free(x.bucket_tail);
+    return rc;
+}

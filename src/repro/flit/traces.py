@@ -44,14 +44,20 @@ def synthesize_trace(
     """
     rng = random.Random(seed)
     mean_gap = workload.mean_interarrival(message_flits)
+    rate = 1.0 / mean_gap
     entries: list[TraceEntry] = []
     for src in range(n_procs):
-        t = int(rng.expovariate(1.0 / mean_gap)) + 1
+        # Float arrival clock, floored once per message — the same
+        # unbiased arrival process as the live engine (flooring every
+        # gap would understate the requested injection rate).
+        clock = rng.expovariate(rate)
+        t = int(clock) + 1
         while t < horizon:
             dst = workload.pick_destination(src, n_procs, rng)
             if dst >= 0:
                 entries.append(TraceEntry(t, src, dst))
-            t += int(rng.expovariate(1.0 / mean_gap)) + 1
+            clock += rng.expovariate(rate)
+            t = int(clock) + 1
     entries.sort(key=lambda e: (e.cycle, e.src))
     return entries
 

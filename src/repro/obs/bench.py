@@ -49,6 +49,16 @@ SCHEMA_VERSION = 1
 #: relative wall-time growth that counts as a regression (+50 %)
 DEFAULT_THRESHOLD = 0.5
 
+#: baseline wall times below this are timer noise, not measurements
+#: (a fast machine on a --quick baseline can land a whole phase under a
+#: millisecond); such phases are reported as "not comparable" instead of
+#: producing an infinite or wildly amplified regression ratio
+MIN_COMPARABLE_WALL_S = 1e-3
+
+#: minimum batched-over-reference flit-engine speedup on the 8-port
+#: 3-tree (the batched-engine acceptance gate)
+FLIT_ENGINE_SPEEDUP = 5.0
+
 #: disabled-recorder overhead budget on the flow hot path (<5 %)
 OBS_OVERHEAD_BUDGET = 0.05
 
@@ -245,9 +255,12 @@ def bench_flow(quick: bool = True) -> BenchSnapshot:
 
 
 def bench_flit(quick: bool = True) -> BenchSnapshot:
-    """Serial vs parallel vs warm-cache flit sweep grid."""
+    """Serial vs parallel vs warm-cache flit sweep grid, plus the
+    reference-vs-batched engine gate on the 8-port 3-tree."""
+    from repro.flit.batched import make_flit_simulator
     from repro.flit.config import FlitConfig
     from repro.flit.engine import FlitSimulator
+    from repro.flit.workload import UniformRandom
     from repro.routing.factory import make_scheme
     from repro.runner.cache import ResultCache
     from repro.runner.sweep import run_sweeps
@@ -293,6 +306,37 @@ def bench_flit(quick: bool = True) -> BenchSnapshot:
                         return False
         return True
 
+    # Reference vs batched engine.  The >= FLIT_ENGINE_SPEEDUP gate is
+    # defined on the 8-port 3-tree, so this leg keeps that topology even
+    # in quick mode and shortens the windows instead.
+    eng_xgft = m_port_n_tree(8, 3)
+    eng_cfg = (FlitConfig(warmup_cycles=200, measure_cycles=1000,
+                          drain_cycles=1000, seed=2012)
+               if quick else config)
+    eng_loads = (0.2, 0.6) if quick else loads
+    eng_scheme = make_scheme(eng_xgft, "disjoint:4")
+    ref_sim = make_flit_simulator("reference", eng_xgft, eng_scheme, eng_cfg)
+    bat_sim = make_flit_simulator("batched", eng_xgft, eng_scheme, eng_cfg)
+
+    def _engine_runs(sim):
+        return [sim.run(UniformRandom(load)) for load in eng_loads]
+
+    ref_runs = _engine_runs(ref_sim)
+    bat_runs = _engine_runs(bat_sim)   # warm-up: absorbs the one-time
+    # native-kernel compile so the timed rounds see steady state
+    engine_parity = all(
+        all((getattr(ra, f) == getattr(rb, f)
+             or (getattr(ra, f) != getattr(ra, f)
+                 and getattr(rb, f) != getattr(rb, f)))
+            for f in ra.__dataclass_fields__)
+        for ra, rb in zip(ref_runs, bat_runs))
+    eng_ref_wall, eng_ref_cpu = _best_of(lambda: _engine_runs(ref_sim),
+                                         rounds=2 if quick else 3)
+    eng_bat_wall, eng_bat_cpu = _best_of(lambda: _engine_runs(bat_sim),
+                                         rounds=2 if quick else 3)
+    engine_speedup = (eng_ref_wall / eng_bat_wall
+                      if eng_bat_wall > 0 else float("inf"))
+
     metrics = {
         "serial": {
             "wall_s": serial_wall, "cpu_s": serial_cpu,
@@ -310,10 +354,19 @@ def bench_flit(quick: bool = True) -> BenchSnapshot:
             "replay_speedup": (serial_wall / warm_wall
                                if warm_wall > 0 else float("inf")),
         },
+        "engine_reference": {
+            "wall_s": eng_ref_wall, "cpu_s": eng_ref_cpu,
+        },
+        "engine_batched": {
+            "wall_s": eng_bat_wall, "cpu_s": eng_bat_cpu,
+            "speedup_vs_reference": engine_speedup,
+        },
     }
     checks = {
         "parallel_parity_ok": _equal(serial, parallel),
         "cache_parity_ok": _equal(serial, warm),
+        "engine_parity_ok": engine_parity,
+        "engine_speedup_ok": engine_speedup >= FLIT_ENGINE_SPEEDUP,
     }
     return BenchSnapshot.create("flit", metrics, checks=checks, quick=quick)
 
@@ -556,6 +609,14 @@ class MetricDelta:
     current_wall_s: float
 
     @property
+    def comparable(self) -> bool:
+        """Whether the baseline is above timer resolution.  A phase that
+        took (effectively) zero time in the baseline cannot express a
+        meaningful growth ratio — 0.1 ms to 0.4 ms is jitter, not a 4x
+        regression — so such phases never fail the gate."""
+        return self.baseline_wall_s >= MIN_COMPARABLE_WALL_S
+
+    @property
     def ratio(self) -> float:
         if self.baseline_wall_s <= 0:
             return float("inf") if self.current_wall_s > 0 else 1.0
@@ -574,17 +635,32 @@ class SnapshotComparison:
 
     @property
     def regressions(self) -> list[MetricDelta]:
-        return [d for d in self.deltas if d.ratio > 1.0 + self.threshold]
+        return [d for d in self.deltas
+                if d.comparable and d.ratio > 1.0 + self.threshold]
+
+    @property
+    def not_comparable(self) -> list[MetricDelta]:
+        """Phases whose baseline is below timer resolution (see
+        :data:`MIN_COMPARABLE_WALL_S`); excluded from the gate."""
+        return [d for d in self.deltas if not d.comparable]
 
     @property
     def ok(self) -> bool:
         return not self.regressions and not self.failed_checks
 
     def render(self) -> str:
+        def verdict(d: MetricDelta) -> str:
+            if not d.comparable:
+                return "not comparable (sub-resolution baseline)"
+            return "REGRESSED" if d.ratio > 1.0 + self.threshold else "ok"
+
         rows = [[d.name, f"{d.baseline_wall_s:.4f}",
-                 f"{d.current_wall_s:.4f}", f"{d.ratio:.2f}x",
-                 "REGRESSED" if d.ratio > 1.0 + self.threshold else "ok"]
-                for d in sorted(self.deltas, key=lambda d: -d.ratio)]
+                 f"{d.current_wall_s:.4f}",
+                 f"{d.ratio:.2f}x" if d.comparable else "n/a",
+                 verdict(d)]
+                for d in sorted(
+                    self.deltas,
+                    key=lambda d: -(d.ratio if d.comparable else 0.0))]
         out = format_table(
             ["metric", "baseline s", "current s", "ratio", "verdict"],
             rows, title=f"{self.benchmark}  (threshold "

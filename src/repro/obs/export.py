@@ -45,11 +45,20 @@ def _prom_value(value: float) -> str:
     return repr(value)
 
 
+def _label_value(value) -> str:
+    # Prometheus exposition escapes inside label values: backslash
+    # first (so the other escapes aren't doubled), then quote and
+    # newline.  A scheme label like 'disjoint "wide"' must not produce
+    # an unparseable metric line.
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(labels: dict | None, extra: dict | None = None) -> str:
     merged = {**(labels or {}), **(extra or {})}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    inner = ",".join(f'{k}="{_label_value(v)}"' for k, v in merged.items())
     return "{" + inner + "}"
 
 

@@ -15,11 +15,17 @@ it —
 * the library code version (``repro.__version__``).
 
 Change any input and the key changes, so a stale entry can never be
-returned.  The code version is additionally stored as a plain field on
-every entry: entries written by a different version are skipped at load
-time and reported through the ``runner.cache_invalidated`` telemetry
-counter, which is how an upgrade shows up as a cold cache rather than
-as silence.
+returned.  Generic records (:meth:`ResultCache.get_record` /
+:meth:`ResultCache.put_record`, e.g. churn-sweep step MLOADs) get the
+same guarantee even when the *caller's* key omits the version: the
+on-disk key is re-derived from the caller's key plus the cache's code
+version and the record-schema constant (:data:`RECORD_SCHEMA`), so a
+version or schema change renames every entry rather than trusting each
+call site to remember.  The code version is additionally stored as a
+plain field on every entry: entries written by a different version are
+skipped at load time and reported through the
+``runner.cache_invalidated`` telemetry counter, which is how an upgrade
+shows up as a cold cache rather than as silence.
 
 Storage is a single append-only JSON Lines file per cache directory
 (default ``.repro-cache/flit-runs.jsonl``) — crash-tolerant (a torn
@@ -47,6 +53,11 @@ from repro.obs.recorder import get_recorder
 
 #: default cache directory (gitignored)
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: version of the record payload shapes stored via :meth:`ResultCache.
+#: put_record`; bump when a stored dict's fields change meaning so old
+#: entries miss instead of being replayed into the new shape
+RECORD_SCHEMA = 1
 
 _FILENAME = "flit-runs.jsonl"
 
@@ -142,7 +153,19 @@ class ResultCache:
         return len(self._load())
 
     def __contains__(self, key: str) -> bool:
-        return key in self._load()
+        return self.record_key(key) in self._load()
+
+    def record_key(self, key: str) -> str:
+        """The on-disk key for a caller key: re-hashed together with the
+        cache's code version and :data:`RECORD_SCHEMA`.
+
+        Callers like the churn sweep hash only their own inputs; folding
+        the version/schema in here means a library upgrade or a payload
+        shape change invalidates *every* record, whether or not the call
+        site remembered to include a version part.
+        """
+        return cache_key({"key": key, "version": self.version,
+                          "schema": RECORD_SCHEMA})
 
     def get_record(self, key: str) -> dict | None:
         """The raw cached record for ``key``, or ``None`` on a miss.
@@ -151,7 +174,7 @@ class ResultCache:
         (flit run points, churn-sweep step MLOADs) shares the same file,
         index, versioning and telemetry.
         """
-        entry = self._load().get(key)
+        entry = self._load().get(self.record_key(key))
         rec = get_recorder()
         if entry is None:
             rec.count("runner.cache_miss")
@@ -162,11 +185,12 @@ class ResultCache:
     def put_record(self, key: str, record: dict) -> None:
         """Persist a raw JSON-able dict under ``key`` (idempotent)."""
         index = self._load()
-        if key in index:
+        skey = self.record_key(key)
+        if skey in index:
             return
-        index[key] = record
+        index[skey] = record
         os.makedirs(self.directory, exist_ok=True)
-        line = json.dumps({"key": key, "version": self.version,
+        line = json.dumps({"key": skey, "version": self.version,
                            "result": record})
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")

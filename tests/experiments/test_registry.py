@@ -31,9 +31,13 @@ class TestEngineForwarding:
         for name in ("figure4a", "figure4b", "figure4c", "figure4d", "ratios"):
             assert get_experiment(name).engine_aware, name
 
-    def test_flit_and_exact_experiments_are_not(self):
-        for name in ("table1", "figure5", "theorems", "resources",
-                     "exact-ratios"):
+    def test_flit_experiments_are_engine_aware(self):
+        # table1/figure5 accept --engine {reference,batched}
+        for name in ("table1", "figure5"):
+            assert get_experiment(name).engine_aware, name
+
+    def test_exact_experiments_are_not_engine_aware(self):
+        for name in ("theorems", "resources", "exact-ratios"):
             assert not get_experiment(name).engine_aware, name
 
     def test_unaware_experiment_rejects_compiled_engine(self):

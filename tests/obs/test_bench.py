@@ -8,6 +8,7 @@ from repro.errors import ReproError
 from repro.obs.bench import (
     BenchSnapshot,
     DEFAULT_THRESHOLD,
+    MIN_COMPARABLE_WALL_S,
     OBS_OVERHEAD_BUDGET,
     SCHEMA_VERSION,
     SNAPSHOT_FILES,
@@ -117,11 +118,32 @@ class TestCompareSnapshots:
         with pytest.raises(ReproError):
             compare_snapshots(_snapshot("flow"), _snapshot("flit"))
 
-    def test_zero_baseline_guard(self):
+    def test_zero_baseline_is_not_a_regression(self):
+        # A 0-second baseline cannot express a growth ratio; the delta
+        # is reported as not comparable instead of an inf regression.
         base = _snapshot(walls={"eval": 0.0})
         cur = _snapshot(walls={"eval": 0.1})
-        assert compare_snapshots(base, cur).regressions[0].ratio == float(
-            "inf")
+        cmp = compare_snapshots(base, cur)
+        assert cmp.ok and not cmp.regressions
+        [delta] = cmp.not_comparable
+        assert delta.name == "eval" and not delta.comparable
+        assert delta.ratio == float("inf")  # still finite-guarded
+
+    def test_sub_resolution_baseline_is_not_a_regression(self):
+        # 0.4 ms -> 5 ms is timer noise on a warm-cache phase, not a
+        # 12x slowdown; the gate must not trip.
+        base = _snapshot(walls={"eval": MIN_COMPARABLE_WALL_S / 2,
+                                "other": 1.0})
+        cur = _snapshot(walls={"eval": 0.005, "other": 1.0})
+        cmp = compare_snapshots(base, cur)
+        assert cmp.ok and not cmp.regressions
+        assert [d.name for d in cmp.not_comparable] == ["eval"]
+
+    def test_baseline_at_resolution_floor_still_gates(self):
+        base = _snapshot(walls={"eval": MIN_COMPARABLE_WALL_S})
+        cur = _snapshot(walls={"eval": MIN_COMPARABLE_WALL_S * 10})
+        cmp = compare_snapshots(base, cur)
+        assert not cmp.ok and [d.name for d in cmp.regressions] == ["eval"]
 
     def test_render_names_the_verdict(self):
         cmp = compare_snapshots(_snapshot(walls={"eval": 1.0}),
@@ -129,6 +151,12 @@ class TestCompareSnapshots:
         out = cmp.render()
         assert "REGRESSED" in out and "eval" in out
         assert f"+{DEFAULT_THRESHOLD:.0%}" in out
+
+    def test_render_marks_sub_resolution_phases(self):
+        cmp = compare_snapshots(_snapshot(walls={"eval": 0.0}),
+                                _snapshot(walls={"eval": 0.1}))
+        out = cmp.render()
+        assert "not comparable" in out and "REGRESSED" not in out
 
 
 class TestRunBenchmarks:

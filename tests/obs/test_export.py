@@ -58,6 +58,25 @@ class TestPrometheus:
         rec.count("x", 1)
         assert "xgft_x 1" in to_prometheus(rec, prefix="xgft_")
 
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        # Prometheus exposition format: \ -> \\, " -> \", newline -> \n
+        # inside label values; a raw quote would truncate the value and
+        # break the scrape parser.
+        rec = Recorder()
+        rec.count("x", 1)
+        out = to_prometheus(rec, labels={
+            "scheme": 'disjoint "wide"',
+            "path": "C:\\tables",
+            "note": "a\nb",
+        })
+        assert 'scheme="disjoint \\"wide\\""' in out
+        assert 'path="C:\\\\tables"' in out
+        assert 'note="a\\nb"' in out
+        # no label value leaks an unescaped quote or literal newline
+        for line in out.splitlines():
+            if not line.startswith("#") and "x{" in line:
+                assert line.count('"') % 2 == 0
+
     def test_histogram_buckets_are_cumulative(self):
         rec = Recorder()
         for v in (0.5, 1.5, 3.0, 3.5):

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+import repro.runner.cache as cache_mod
 from repro.errors import RunnerError
 from repro.flit.stats import FlitRunResult
 from repro.obs.recorder import Recorder, use_recorder
@@ -89,6 +90,34 @@ class TestInvalidation:
             reread = ResultCache(tmp_path)
             assert reread.get("k") == _mk_result()
         assert rec.counters["runner.cache_corrupt"] == 1
+
+    def test_record_key_bakes_in_code_version(self, tmp_path):
+        # Generic records (put_record callers hash only their own
+        # inputs) must still go cold on a library upgrade: the on-disk
+        # key itself is derived from the cache's version, so the miss
+        # does not depend on the load-time version filter alone.
+        old = ResultCache(tmp_path, version="v1")
+        old.put_record("step-7", {"mload": 1.5})
+        assert old.get_record("step-7") == {"mload": 1.5}
+        new = ResultCache(tmp_path, version="v2")
+        assert new.get_record("step-7") is None
+        assert old.record_key("step-7") != new.record_key("step-7")
+        # both versions coexist in the same file without clobbering
+        new.put_record("step-7", {"mload": 2.5})
+        assert ResultCache(tmp_path, version="v1").get_record(
+            "step-7") == {"mload": 1.5}
+        assert ResultCache(tmp_path, version="v2").get_record(
+            "step-7") == {"mload": 2.5}
+
+    def test_record_key_bakes_in_schema(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put_record("k", {"mload": 1.5})
+        key_before = cache.record_key("k")
+        monkeypatch.setattr(cache_mod, "RECORD_SCHEMA",
+                            cache_mod.RECORD_SCHEMA + 1)
+        bumped = ResultCache(tmp_path, version="v1")
+        assert bumped.record_key("k") != key_before
+        assert bumped.get_record("k") is None
 
     def test_directory_collision_rejected(self, tmp_path):
         target = tmp_path / "not-a-dir"

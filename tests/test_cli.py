@@ -78,6 +78,68 @@ class TestCommands:
         assert main(["fault-sweep", "--churn-seed", "1"]) == 2
         assert "does not support churn" in capsys.readouterr().err
 
+    def test_batched_engine_accepted_for_flit_experiments(self, capsys):
+        assert main(["table1", "--fidelity", "fast",
+                     "--engine", "batched", "--quiet"]) == 0
+
+    def test_batched_engine_rejected_for_unaware_experiment(self, capsys):
+        assert main(["resources", "--engine", "batched"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Bad numeric flags die at parse time with a typed argparse error
+    (exit 2 + a message naming the flag), not deep in a runner."""
+
+    @pytest.mark.parametrize("rate", ["1.5", "-0.1", "0.2,7"])
+    def test_fault_rate_outside_unit_interval(self, rate, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fault-sweep", "--fault-rate", rate])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--fault-rate" in err and "0" in err and "1" in err
+
+    def test_fault_rate_non_numeric(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fault-sweep", "--fault-rate", "lots"])
+        assert exc.value.code == 2
+        assert "--fault-rate" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("links", ["-3", "1,-2"])
+    def test_fault_links_negative(self, links, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fault-sweep", "--fault-links", links])
+        assert exc.value.code == 2
+        assert "--fault-links" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("events", ["-5", "2.5", "many"])
+    def test_churn_events_must_be_nonnegative_int(self, events, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["churn-sweep", "--churn-events", events])
+        assert exc.value.code == 2
+        assert "--churn-events" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("jobs", ["0", "-1", "two"])
+    def test_jobs_must_be_positive_int(self, jobs, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--jobs", jobs])
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--engine", "turbo"])
+        assert exc.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_valid_boundary_values_accepted(self, capsys):
+        # 0.0 and 1.0 are inside the closed interval; jobs 1 is the
+        # serial path; 0 churn events is the pristine baseline alone.
+        assert main(["fault-sweep", "--fidelity", "fast",
+                     "--fault-rate", "0.0", "--quiet"]) == 0
+        assert main(["churn-sweep", "--fidelity", "fast",
+                     "--churn-events", "0", "--quiet"]) == 0
+
 
 class TestGlobalOptions:
     def test_version(self, capsys):
